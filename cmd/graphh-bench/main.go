@@ -1,0 +1,71 @@
+// Command graphh-bench regenerates the paper's evaluation artifacts: every
+// table (I–V) and figure (1, 6, 7, 8, 9, 10) plus the DESIGN.md ablations,
+// on the simulated substrates with scaled-down dataset analogues.
+//
+// Usage:
+//
+//	graphh-bench -list
+//	graphh-bench -exp f9
+//	graphh-bench -exp all -scale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (t1..t5, f1a..f10, a1..a5) or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		scale   = flag.Float64("scale", 0, "dataset scale override (default GRAPHH_SCALE or 1)")
+		servers = flag.Int("servers", 0, "reference cluster size override (default 9)")
+		steps   = flag.Int("supersteps", 0, "PageRank superstep budget override (default 6)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ctx := bench.NewContext()
+	if *scale > 0 {
+		ctx.Scale = *scale
+	}
+	if *servers > 0 {
+		ctx.Servers = *servers
+	}
+	if *steps > 0 {
+		ctx.Supersteps = *steps
+	}
+
+	run := func(e bench.Experiment) {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(ctx, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "graphh-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %v ---\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.All() {
+			run(e)
+		}
+		return
+	}
+	e, err := bench.ByID(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphh-bench:", err)
+		os.Exit(1)
+	}
+	run(e)
+}

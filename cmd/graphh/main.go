@@ -1,0 +1,181 @@
+// Command graphh runs a vertex-centric application on a graph with the
+// GraphH engine: two-stage tile partitioning, the GAB computation model on
+// a simulated N-server cluster, edge caching and hybrid communication.
+//
+// Usage:
+//
+//	graphh -app pagerank -in web.bin -servers 4 -supersteps 20
+//	graphh -app sssp -source 0 -in roads.csv -servers 2
+//	graphh -app wcc -in social.bin -symmetrize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	graphh "repro"
+)
+
+func main() {
+	var (
+		app        = flag.String("app", "pagerank", "application: pagerank, sssp, bfs, wcc")
+		in         = flag.String("in", "", "input edge list (.csv/.txt = text, else binary)")
+		dataset    = flag.String("dataset", "", "generate a named dataset instead of reading -in")
+		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
+		servers    = flag.Int("servers", 1, "simulated cluster size N")
+		workers    = flag.Int("workers", 0, "workers per server T (0 = auto)")
+		steps      = flag.Int("supersteps", 50, "maximum supersteps")
+		source     = flag.Uint("source", 0, "source vertex for sssp/bfs")
+		tileSize   = flag.Int("tile-size", 0, "edges per tile S (0 = auto)")
+		cacheCap   = flag.Int64("cache-bytes", 0, "edge cache capacity per server (0 = unlimited, <0 disabled)")
+		cacheMode  = flag.String("cache-mode", "auto", "cache codec: auto, raw, snappy, zlib-1, zlib-3")
+		msgCodec   = flag.String("msg-codec", "snappy", "message codec: raw, snappy, zlib-1, zlib-3")
+		tcp        = flag.Bool("tcp", false, "use the TCP loopback transport")
+		symmetrize = flag.Bool("symmetrize", false, "add reverse edges before running (needed by wcc)")
+		top        = flag.Int("top", 10, "print the top-K vertices by value")
+		diskBW     = flag.Int64("disk-bw", 0, "disk bandwidth model, bytes/s (0 = unthrottled)")
+		netBW      = flag.Int64("net-bw", 0, "network bandwidth model, bytes/s (0 = unlimited)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*in, *dataset, *scale)
+	if err != nil {
+		fail(err)
+	}
+	if *symmetrize {
+		g = g.Symmetrize()
+	}
+
+	var prog graphh.Program
+	switch *app {
+	case "pagerank":
+		prog = graphh.NewPageRank()
+	case "sssp":
+		prog = graphh.NewSSSP(uint32(*source))
+	case "bfs":
+		prog = graphh.NewBFS(uint32(*source))
+	case "wcc":
+		prog = graphh.NewWCC()
+	default:
+		fail(fmt.Errorf("unknown app %q", *app))
+	}
+
+	p, err := graphh.Partition(g, graphh.PartitionOptions{TileSize: *tileSize})
+	if err != nil {
+		fail(err)
+	}
+	opts := graphh.Options{
+		Servers:            *servers,
+		Workers:            *workers,
+		MaxSupersteps:      *steps,
+		CacheCapacity:      *cacheCap,
+		DiskReadBandwidth:  *diskBW,
+		DiskWriteBandwidth: *diskBW,
+		NetBandwidth:       *netBW,
+	}
+	if *tcp {
+		opts.Transport = graphh.TransportTCP
+	}
+	if *cacheMode != "auto" {
+		m, err := parseCodec(*cacheMode)
+		if err != nil {
+			fail(err)
+		}
+		opts.CacheMode = &m
+	}
+	mc, err := parseCodec(*msgCodec)
+	if err != nil {
+		fail(err)
+	}
+	opts.MessageCodec = &mc
+
+	res, err := graphh.Run(p, prog, opts)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%s on %s: |V|=%d |E|=%d tiles=%d servers=%d\n",
+		*app, g.Name, g.NumVertices, g.NumEdges(), p.NumTiles(), *servers)
+	fmt.Printf("supersteps: %d (converged=%v), setup %v, loop %v, avg step %v\n",
+		res.Supersteps, res.Converged, res.SetupDuration.Round(1e6),
+		res.Duration.Round(1e6), res.AvgStepDuration().Round(1e5))
+	fmt.Printf("network: %.2f MB total; peak server memory: %.2f MB\n",
+		float64(res.TotalWireBytes())/1e6, float64(res.PeakMemoryBytes())/1e6)
+	for _, sv := range res.Servers {
+		fmt.Printf("  server %d: mem %.2f MB, disk read %.2f MB, cache hit %.1f%%\n",
+			sv.Server, float64(sv.MemoryBytes)/1e6,
+			float64(sv.Disk.ReadBytes)/1e6, sv.Cache.HitRatio()*100)
+	}
+
+	type kv struct {
+		v   uint32
+		val float64
+	}
+	ranked := make([]kv, 0, len(res.Values))
+	for v, val := range res.Values {
+		ranked = append(ranked, kv{uint32(v), val})
+	}
+	descending := *app == "pagerank"
+	sort.Slice(ranked, func(i, j int) bool {
+		if descending {
+			return ranked[i].val > ranked[j].val
+		}
+		return ranked[i].val < ranked[j].val
+	})
+	k := *top
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	fmt.Printf("top %d vertices:\n", k)
+	for i := 0; i < k; i++ {
+		fmt.Printf("  v%-8d %g\n", ranked[i].v, ranked[i].val)
+	}
+}
+
+func loadGraph(in, dataset string, scale float64) (*graphh.Graph, error) {
+	if dataset != "" {
+		return graphh.Generate(dataset, scale)
+	}
+	if in == "" {
+		return nil, fmt.Errorf("need -in or -dataset")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if len(in) > 4 && (in[len(in)-4:] == ".csv" || in[len(in)-4:] == ".txt") {
+		return graphh.LoadCSV(f, in)
+	}
+	return graphh.LoadBinary(f, in)
+}
+
+func parseCodec(name string) (graphh.Codec, error) {
+	m, err := codecByName(name)
+	if err != nil {
+		return graphh.CodecNone, err
+	}
+	return m, nil
+}
+
+func codecByName(name string) (graphh.Codec, error) {
+	switch name {
+	case "raw", "none":
+		return graphh.CodecNone, nil
+	case "snappy":
+		return graphh.CodecSnappy, nil
+	case "zlib-1":
+		return graphh.CodecZlib1, nil
+	case "zlib-3":
+		return graphh.CodecZlib3, nil
+	default:
+		return graphh.CodecNone, fmt.Errorf("unknown codec %q", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "graphh:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Singlenode: the paper's §V-A claim that "GraphH can process big graphs
+// like EU-2015 even on a single commodity server". This example runs the
+// largest simulated dataset on one server whose edge cache is deliberately
+// too small for the raw tiles, forcing the automatic cache-mode selection
+// to compress (§IV-B), and compares against an uncached run over a
+// throttled "hard disk" to show why the cache matters.
+//
+//	go run ./examples/singlenode
+package main
+
+import (
+	"fmt"
+	"log"
+
+	graphh "repro"
+)
+
+func main() {
+	g, err := graphh.Generate("eu2015-sim", 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := graphh.Partition(g, graphh.PartitionOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tileMB := float64(p.TotalTileBytes()) / 1e6
+	fmt.Printf("dataset %s: |V|=%d |E|=%d, %d tiles (%.1f MB raw)\n",
+		g.Name, g.NumVertices, g.NumEdges(), p.NumTiles(), tileMB)
+
+	const hdd = 200 << 20 // 200 MB/s sequential "RAID" model
+	run := func(label string, cacheBytes int64) {
+		res, err := graphh.Run(p, graphh.NewPageRank(), graphh.Options{
+			Servers:            1,
+			MaxSupersteps:      5,
+			CacheCapacity:      cacheBytes,
+			DiskReadBandwidth:  hdd,
+			DiskWriteBandwidth: hdd,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sv := res.Servers[0]
+		fmt.Printf("%-28s avg step %8v | cache hit %5.1f%% | disk read %7.1f MB | mem %6.1f MB\n",
+			label, res.AvgStepDuration().Round(1e6), sv.Cache.HitRatio()*100,
+			float64(sv.Disk.ReadBytes)/1e6, float64(sv.MemoryBytes)/1e6)
+	}
+
+	fmt.Println("\n5 PageRank supersteps on one server, 200 MB/s disk model:")
+	run("cache disabled:", -1)
+	run("cache 1/3 of tiles:", p.TotalTileBytes()/3)
+	run("cache unlimited:", 0)
+	fmt.Println("\nthe compressed cache turns an out-of-core run into an in-memory one —")
+	fmt.Println("the mechanism behind the paper's single-node EU-2015 result (§V-A).")
+}

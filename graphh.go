@@ -1,0 +1,231 @@
+// Package graphh is the public API of this reproduction of "GraphH: High
+// Performance Big Graph Analytics in Small Clusters" (Sun, Wen, Ta, Xiao —
+// IEEE CLUSTER 2017).
+//
+// GraphH is a distributed memory–disk hybrid graph processing system. It
+// partitions a graph into equal-edge-count CSR tiles (two-stage
+// partitioning), runs vertex programs under the GAB (Gather–Apply–Broadcast)
+// model where every vertex is replicated on every simulated server and each
+// worker processes one tile in memory at a time, keeps a compressed edge
+// cache in idle memory to avoid disk re-reads, and broadcasts value updates
+// with a hybrid dense/sparse wire encoding.
+//
+// The minimal workflow:
+//
+//	g, _ := graphh.Generate("uk2007-sim", 0.1)        // or LoadCSV / LoadBinary
+//	p, _ := graphh.Partition(g, graphh.PartitionOptions{})
+//	res, _ := graphh.Run(p, graphh.NewPageRank(), graphh.Options{Servers: 4})
+//	fmt.Println(res.Values[:10])
+//
+// Programs implement the two-function GAB abstraction (§III-C): Gather folds
+// in-edges into an accumulator, Apply produces the new vertex value, and the
+// engine broadcasts changes. PageRank, SSSP, BFS and WCC ship ready-made.
+package graphh
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/comm"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/graph"
+	"repro/internal/tile"
+)
+
+// Graph is a directed input graph in edge-list form.
+type Graph = graph.EdgeList
+
+// Edge is one directed edge of a Graph.
+type Edge = graph.Edge
+
+// Partitioned is a graph after two-stage tile partitioning.
+type Partitioned = tile.Partition
+
+// Program is a GAB vertex program; see NewPageRank for a reference
+// implementation and core.Program for the contract.
+type Program = core.Program
+
+// GraphInfo is the read-only context handed to programs.
+type GraphInfo = core.Graph
+
+// Result is the outcome of a Run.
+type Result = core.Result
+
+// Transport kinds for the simulated cluster.
+const (
+	// TransportInproc connects simulated servers with channels (default).
+	TransportInproc = cluster.Inproc
+	// TransportTCP connects them with real loopback TCP sockets.
+	TransportTCP = cluster.TCP
+)
+
+// Codec names the compression codecs accepted by Options.
+type Codec = compress.Mode
+
+// Available codecs, in the paper's cache-mode order.
+const (
+	CodecNone   = compress.None
+	CodecSnappy = compress.Snappy
+	CodecZlib1  = compress.Zlib1
+	CodecZlib3  = compress.Zlib3
+)
+
+// LoadCSV reads a tab/space-separated edge list ("src dst [weight]"; # and %
+// comments allowed).
+func LoadCSV(r io.Reader, name string) (*Graph, error) { return graph.ReadCSV(r, name) }
+
+// LoadCSVFile reads an edge-list file.
+func LoadCSVFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadCSV(f, path)
+}
+
+// LoadBinary reads the compact binary edge-list format written by
+// (*Graph).WriteBinary.
+func LoadBinary(r io.Reader, name string) (*Graph, error) { return graph.ReadBinary(r, name) }
+
+// Generate materializes one of the paper's benchmark graph analogues
+// ("twitter-sim", "uk2007-sim", "uk2014-sim", "eu2015-sim") at the given
+// scale; scale 1.0 is the laptop-sized default documented in EXPERIMENTS.md.
+func Generate(dataset string, scale float64) (*Graph, error) {
+	d, err := graph.DatasetByName(dataset)
+	if err != nil {
+		return nil, err
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	return d.Generate(scale), nil
+}
+
+// GenerateRMAT generates a synthetic power-law graph directly.
+func GenerateRMAT(numVertices uint32, numEdges int, seed uint64) *Graph {
+	return graph.GenerateRMAT(graph.DefaultRMAT(), numVertices, numEdges, seed)
+}
+
+// PartitionOptions configures stage-one partitioning (§III-B).
+type PartitionOptions struct {
+	// TileSize is S, the target edges per tile; 0 picks a size that gives
+	// each worker several tiles.
+	TileSize int
+	// BloomFPRate tunes the per-tile filters; 0 = 1%, negative disables.
+	BloomFPRate float64
+}
+
+// Partition splits g into equal-edge-count CSR tiles.
+func Partition(g *Graph, opts PartitionOptions) (*Partitioned, error) {
+	return tile.Split(g, tile.Options{TileSize: opts.TileSize, BloomFPRate: opts.BloomFPRate})
+}
+
+// Options configures a Run. The zero value runs single-server with the
+// paper's defaults (snappy message compression, hybrid communication,
+// automatic cache mode, All-in-All replication, Bloom tile skipping).
+type Options struct {
+	// Servers is N, the simulated cluster size (default 1).
+	Servers int
+	// Workers is T, the per-server worker count (default GOMAXPROCS/N).
+	Workers int
+	// MaxSupersteps bounds the run (default 100).
+	MaxSupersteps int
+	// Transport selects TransportInproc (default) or TransportTCP.
+	Transport cluster.TransportKind
+	// DiskReadBandwidth/DiskWriteBandwidth model the per-server tile store
+	// in bytes/second; 0 = unthrottled.
+	DiskReadBandwidth  int64
+	DiskWriteBandwidth int64
+	// NetBandwidth models each server's NIC in bytes/second; 0 = unlimited.
+	NetBandwidth int64
+	// CacheCapacity is the per-server edge cache budget in bytes:
+	// 0 = unlimited, negative = disabled.
+	CacheCapacity int64
+	// CacheMode fixes the cache codec; nil selects automatically (§IV-B).
+	CacheMode *Codec
+	// MessageCodec compresses update broadcasts; nil = snappy (§IV-C).
+	MessageCodec *Codec
+	// ForceDense / ForceSparse disable the hybrid wire encoding (ablation).
+	ForceDense, ForceSparse bool
+	// OnDemandReplication switches from All-in-All to On-Demand (§IV-A).
+	OnDemandReplication bool
+	// DisableBloomSkip turns off inactive-tile skipping (§III-C-4).
+	DisableBloomSkip bool
+	// WorkDir hosts per-server scratch stores; "" = temp dir.
+	WorkDir string
+}
+
+func (o Options) engineConfig() core.Config {
+	cfg := core.DefaultConfig(o.Servers)
+	cfg.WorkersPerServer = o.Workers
+	cfg.MaxSupersteps = o.MaxSupersteps
+	cfg.Transport = o.Transport
+	cfg.Disk = disk.Config{ReadBandwidth: o.DiskReadBandwidth, WriteBandwidth: o.DiskWriteBandwidth}
+	cfg.NetBandwidth = o.NetBandwidth
+	cfg.CacheCapacity = o.CacheCapacity
+	if o.CacheMode != nil {
+		cfg.CacheAuto = false
+		cfg.CacheMode = *o.CacheMode
+	}
+	if o.MessageCodec != nil {
+		cfg.MsgCodec = *o.MessageCodec
+	}
+	switch {
+	case o.ForceDense && o.ForceSparse:
+		// contradictory; keep hybrid
+	case o.ForceDense:
+		cfg.Comm = comm.ForceDense
+	case o.ForceSparse:
+		cfg.Comm = comm.ForceSparse
+	}
+	if o.OnDemandReplication {
+		cfg.Replication = core.OnDemand
+	}
+	if o.DisableBloomSkip {
+		cfg.BloomSkip = false
+	}
+	cfg.WorkDir = o.WorkDir
+	return cfg
+}
+
+// Run executes a program over a partitioned graph on a simulated cluster.
+func Run(p *Partitioned, prog Program, opts Options) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("graphh: nil partition")
+	}
+	eng := core.New(opts.engineConfig())
+	return eng.Run(core.Input{Partition: p}, prog)
+}
+
+// RunGraph partitions g with default options and runs prog — the one-call
+// convenience path.
+func RunGraph(g *Graph, prog Program, opts Options) (*Result, error) {
+	p, err := Partition(g, PartitionOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return Run(p, prog, opts)
+}
+
+// NewPageRank returns the PageRank program of Algorithm 6 (damping 0.85).
+func NewPageRank() Program { return apps.PageRank{} }
+
+// NewPageRankDamping returns PageRank with a custom damping factor.
+func NewPageRankDamping(d float64) Program { return apps.PageRank{Damping: d} }
+
+// NewSSSP returns the single-source shortest paths program of Algorithm 7.
+// Unreached vertices finish with value +Inf.
+func NewSSSP(source uint32) Program { return apps.SSSP{Source: source} }
+
+// NewBFS returns a hop-count program (SSSP over unit weights).
+func NewBFS(source uint32) Program { return apps.BFS{Source: source} }
+
+// NewWCC returns the weakly-connected-components program. The input graph
+// must be symmetric; see (*Graph).Symmetrize.
+func NewWCC() Program { return apps.WCC{} }

@@ -1,0 +1,175 @@
+package graphh_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	graphh "repro"
+	"repro/internal/graph"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := graphh.GenerateRMAT(500, 5000, 42)
+	p, err := graphh.Partition(g, graphh.PartitionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := graphh.Run(p, graphh.NewPageRank(), graphh.Options{
+		Servers: 3, MaxSupersteps: 10, WorkDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.RefPageRank(g, 10)
+	for v := range want {
+		if math.Abs(res.Values[v]-want[v]) > 1e-12 {
+			t.Fatalf("vertex %d: %g vs %g", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestRunGraphConvenience(t *testing.T) {
+	g := graphh.GenerateRMAT(200, 1500, 7)
+	res, err := graphh.RunGraph(g, graphh.NewBFS(0), graphh.Options{MaxSupersteps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.RefBFS(g, 0)
+	for v := range want {
+		if math.IsInf(want[v], 1) {
+			if !math.IsInf(res.Values[v], 1) {
+				t.Fatalf("vertex %d should be unreachable", v)
+			}
+			continue
+		}
+		if res.Values[v] != want[v] {
+			t.Fatalf("vertex %d: %g vs %g", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestGenerateDatasets(t *testing.T) {
+	g, err := graphh.Generate("twitter-sim", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices == 0 || g.NumEdges() == 0 {
+		t.Fatal("empty generated dataset")
+	}
+	if _, err := graphh.Generate("unknown", 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	in := "# web graph\n0\t1\n1\t2\n2\t0\n"
+	g, err := graphh.LoadCSV(strings.NewReader(in), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 || g.NumVertices != 3 {
+		t.Fatalf("parsed %d edges over %d vertices", g.NumEdges(), g.NumVertices)
+	}
+	res, err := graphh.RunGraph(g, graphh.NewPageRank(), graphh.Options{MaxSupersteps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric cycle: equal ranks summing to 1.
+	var sum float64
+	for _, r := range res.Values {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("rank sum %g", sum)
+	}
+}
+
+func TestLoadBinaryRoundTrip(t *testing.T) {
+	g := graphh.GenerateRMAT(100, 700, 9)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := graphh.LoadBinary(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != g.NumEdges() {
+		t.Fatal("binary round trip lost edges")
+	}
+}
+
+func TestOptionKnobs(t *testing.T) {
+	g := graphh.GenerateRMAT(300, 2500, 21)
+	p, err := graphh.Partition(g, graphh.PartitionOptions{TileSize: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode := graphh.CodecZlib1
+	msg := graphh.CodecNone
+	var base []float64
+	for _, opt := range []graphh.Options{
+		{Servers: 2, MaxSupersteps: 6},
+		{Servers: 2, MaxSupersteps: 6, CacheMode: &mode, MessageCodec: &msg},
+		{Servers: 2, MaxSupersteps: 6, ForceDense: true},
+		{Servers: 2, MaxSupersteps: 6, ForceSparse: true},
+		{Servers: 2, MaxSupersteps: 6, OnDemandReplication: true},
+		{Servers: 2, MaxSupersteps: 6, DisableBloomSkip: true},
+		{Servers: 2, MaxSupersteps: 6, CacheCapacity: -1},
+	} {
+		opt.WorkDir = t.TempDir()
+		res, err := graphh.Run(p, graphh.NewPageRank(), opt)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		if base == nil {
+			base = res.Values
+			continue
+		}
+		for v := range base {
+			if res.Values[v] != base[v] {
+				t.Fatalf("option variant changed results at vertex %d", v)
+			}
+		}
+	}
+}
+
+func TestSSSPWeighted(t *testing.T) {
+	g := graphh.GenerateRMAT(200, 1500, 33)
+	wg := graph.AttachWeights(g, 5, 11)
+	res, err := graphh.RunGraph(wg, graphh.NewSSSP(0), graphh.Options{MaxSupersteps: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.RefSSSP(wg, 0)
+	for v := range want {
+		if math.IsInf(want[v], 1) != math.IsInf(res.Values[v], 1) {
+			t.Fatalf("vertex %d reachability mismatch", v)
+		}
+		if !math.IsInf(want[v], 1) && math.Abs(res.Values[v]-want[v]) > 1e-9 {
+			t.Fatalf("vertex %d: %g vs %g", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestWCCOnSymmetrized(t *testing.T) {
+	g := graphh.GenerateRMAT(150, 300, 5)
+	res, err := graphh.RunGraph(g.Symmetrize(), graphh.NewWCC(), graphh.Options{MaxSupersteps: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.RefWCC(g)
+	for v := range want {
+		if uint32(res.Values[v]) != want[v] {
+			t.Fatalf("vertex %d labelled %g, want %d", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestNilPartition(t *testing.T) {
+	if _, err := graphh.Run(nil, graphh.NewPageRank(), graphh.Options{}); err == nil {
+		t.Fatal("nil partition accepted")
+	}
+}

@@ -1,0 +1,173 @@
+// Package apps provides the vertex programs evaluated in the paper —
+// PageRank (Algorithm 6) and single-source shortest paths (Algorithm 7) —
+// plus the standard companions BFS and weakly connected components, all
+// expressed in the GAB model of package core.
+package apps
+
+import (
+	"repro/internal/core"
+)
+
+// PageRank is Algorithm 6: val'(v) = (1-d)/|V| + d·Σ val(u)/dout(u) over
+// in-neighbors u. The damping factor d defaults to the paper's 0.85.
+type PageRank struct {
+	// Damping is d; zero means 0.85.
+	Damping float64
+}
+
+func (p PageRank) damping() float64 {
+	if p.Damping == 0 {
+		return 0.85
+	}
+	return p.Damping
+}
+
+// Name implements core.Program.
+func (p PageRank) Name() string { return "pagerank" }
+
+// InitValue starts every vertex at 1/|V|.
+func (p PageRank) InitValue(v uint32, g *core.Graph) float64 {
+	return 1 / float64(g.NumVertices)
+}
+
+// InitAccum is the additive identity.
+func (p PageRank) InitAccum() float64 { return 0 }
+
+// Gather accumulates val(u)/dout(u) along in-edges.
+func (p PageRank) Gather(acc float64, src uint32, srcVal, w float64, g *core.Graph) float64 {
+	return acc + srcVal/float64(g.OutDeg[src])
+}
+
+// Apply folds the accumulator into the PageRank update rule.
+func (p PageRank) Apply(v uint32, acc, old float64, g *core.Graph) float64 {
+	d := p.damping()
+	return (1-d)/float64(g.NumVertices) + d*acc
+}
+
+// SSSP is Algorithm 7: synchronous Bellman-Ford relaxation toward the fixed
+// point dist(v) = min over in-edges (u,v) of dist(u) + val(u,v).
+type SSSP struct {
+	// Source is the origin vertex.
+	Source uint32
+}
+
+// Name implements core.Program.
+func (s SSSP) Name() string { return "sssp" }
+
+// InitValue is 0 at the source and +Inf elsewhere.
+func (s SSSP) InitValue(v uint32, g *core.Graph) float64 {
+	if v == s.Source {
+		return 0
+	}
+	return core.Inf
+}
+
+// InitAccum is the min identity.
+func (s SSSP) InitAccum() float64 { return core.Inf }
+
+// Gather relaxes one in-edge.
+func (s SSSP) Gather(acc float64, src uint32, srcVal, w float64, g *core.Graph) float64 {
+	if d := srcVal + w; d < acc {
+		return d
+	}
+	return acc
+}
+
+// Apply keeps the shorter of the old and newly relaxed distances.
+func (s SSSP) Apply(v uint32, acc, old float64, g *core.Graph) float64 {
+	if acc < old {
+		return acc
+	}
+	return old
+}
+
+// BFS computes hop counts from a source: SSSP with unit edge weights
+// regardless of stored edge values.
+type BFS struct {
+	// Source is the origin vertex.
+	Source uint32
+}
+
+// Name implements core.Program.
+func (b BFS) Name() string { return "bfs" }
+
+// InitValue is 0 at the source and +Inf elsewhere.
+func (b BFS) InitValue(v uint32, g *core.Graph) float64 {
+	if v == b.Source {
+		return 0
+	}
+	return core.Inf
+}
+
+// InitAccum is the min identity.
+func (b BFS) InitAccum() float64 { return core.Inf }
+
+// Gather relaxes one hop.
+func (b BFS) Gather(acc float64, src uint32, srcVal, w float64, g *core.Graph) float64 {
+	if d := srcVal + 1; d < acc {
+		return d
+	}
+	return acc
+}
+
+// Apply keeps the smaller hop count.
+func (b BFS) Apply(v uint32, acc, old float64, g *core.Graph) float64 {
+	if acc < old {
+		return acc
+	}
+	return old
+}
+
+// WCC labels each vertex with the smallest vertex id reachable by ignoring
+// edge direction. The input graph must be symmetrized (every edge present
+// in both directions) because GAB gathers along in-edges only; see
+// graph.EdgeList.Symmetrize.
+type WCC struct{}
+
+// Name implements core.Program.
+func (WCC) Name() string { return "wcc" }
+
+// InitValue labels each vertex with its own id.
+func (WCC) InitValue(v uint32, g *core.Graph) float64 { return float64(v) }
+
+// InitAccum is the min identity.
+func (WCC) InitAccum() float64 { return core.Inf }
+
+// Gather propagates the smallest label seen on in-neighbors.
+func (WCC) Gather(acc float64, src uint32, srcVal, w float64, g *core.Graph) float64 {
+	if srcVal < acc {
+		return srcVal
+	}
+	return acc
+}
+
+// Apply keeps the smallest label.
+func (WCC) Apply(v uint32, acc, old float64, g *core.Graph) float64 {
+	if acc < old {
+		return acc
+	}
+	return old
+}
+
+// DegreeSum is a one-superstep diagnostic program: each vertex's final value
+// is the weighted count of its in-edges. Used by tests to verify that every
+// edge is visited exactly once.
+type DegreeSum struct{}
+
+// Name implements core.Program.
+func (DegreeSum) Name() string { return "degreesum" }
+
+// InitValue starts at -1 so that even zero-in-degree vertices register one
+// update on the first superstep and exactly quiesce on the second.
+func (DegreeSum) InitValue(v uint32, g *core.Graph) float64 { return -1 }
+
+// InitAccum is the additive identity.
+func (DegreeSum) InitAccum() float64 { return 0 }
+
+// Gather counts edge weights.
+func (DegreeSum) Gather(acc float64, src uint32, srcVal, w float64, g *core.Graph) float64 {
+	return acc + w
+}
+
+// Apply reports the accumulator.
+func (DegreeSum) Apply(v uint32, acc, old float64, g *core.Graph) float64 { return acc }

@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testGraph() *core.Graph {
+	g := &core.Graph{NumVertices: 10, NumEdges: 30, OutDeg: make([]uint32, 10)}
+	for i := range g.OutDeg {
+		g.OutDeg[i] = 3
+	}
+	return g
+}
+
+func TestPageRankCallbacks(t *testing.T) {
+	g := testGraph()
+	pr := PageRank{}
+	if pr.Name() != "pagerank" {
+		t.Fatal("name")
+	}
+	if pr.InitValue(0, g) != 0.1 {
+		t.Fatalf("init = %g", pr.InitValue(0, g))
+	}
+	if pr.InitAccum() != 0 {
+		t.Fatal("accum identity")
+	}
+	// Gather adds val/outdeg.
+	if got := pr.Gather(0.5, 3, 0.3, 1, g); math.Abs(got-0.6) > 1e-15 {
+		t.Fatalf("gather = %g", got)
+	}
+	// Apply: 0.15/10 + 0.85*acc.
+	if got := pr.Apply(0, 0.2, 0, g); math.Abs(got-(0.015+0.17)) > 1e-15 {
+		t.Fatalf("apply = %g", got)
+	}
+	// Custom damping.
+	half := PageRank{Damping: 0.5}
+	if got := half.Apply(0, 0.2, 0, g); math.Abs(got-(0.05+0.1)) > 1e-15 {
+		t.Fatalf("damped apply = %g", got)
+	}
+}
+
+func TestSSSPCallbacks(t *testing.T) {
+	g := testGraph()
+	s := SSSP{Source: 4}
+	if s.InitValue(4, g) != 0 || !math.IsInf(s.InitValue(5, g), 1) {
+		t.Fatal("init")
+	}
+	if !math.IsInf(s.InitAccum(), 1) {
+		t.Fatal("accum identity")
+	}
+	if got := s.Gather(10, 0, 3, 2.5, g); got != 5.5 {
+		t.Fatalf("gather relax = %g", got)
+	}
+	if got := s.Gather(4, 0, 3, 2.5, g); got != 4 {
+		t.Fatalf("gather no-improve = %g", got)
+	}
+	if s.Apply(0, 3, 5, g) != 3 || s.Apply(0, 7, 5, g) != 5 {
+		t.Fatal("apply min")
+	}
+	// Relaxing from an unreached vertex stays +Inf.
+	if !math.IsInf(s.Gather(core.Inf, 0, core.Inf, 1, g), 1) {
+		t.Fatal("Inf + w must stay Inf")
+	}
+}
+
+func TestBFSIgnoresWeights(t *testing.T) {
+	g := testGraph()
+	b := BFS{Source: 0}
+	if got := b.Gather(core.Inf, 1, 2, 99, g); got != 3 {
+		t.Fatalf("bfs hop = %g", got)
+	}
+}
+
+func TestWCCCallbacks(t *testing.T) {
+	g := testGraph()
+	w := WCC{}
+	if w.InitValue(7, g) != 7 {
+		t.Fatal("init label")
+	}
+	if got := w.Gather(5, 0, 3, 1, g); got != 3 {
+		t.Fatalf("gather min label = %g", got)
+	}
+	if got := w.Apply(0, 2, 6, g); got != 2 {
+		t.Fatalf("apply = %g", got)
+	}
+}
+
+func TestDegreeSum(t *testing.T) {
+	g := testGraph()
+	d := DegreeSum{}
+	if d.InitValue(0, g) != -1 {
+		t.Fatal("init sentinel")
+	}
+	if got := d.Gather(2, 0, 0, 1.5, g); got != 3.5 {
+		t.Fatalf("gather = %g", got)
+	}
+	if d.Apply(0, 4, -1, g) != 4 {
+		t.Fatal("apply passes accumulator through")
+	}
+}
+
+func TestPageRankDeltaSuppression(t *testing.T) {
+	g := testGraph()
+	p := PageRankDelta{Epsilon: 1e-3}
+	old := 0.1
+	// acc chosen so the raw update differs from old by less than epsilon.
+	acc := (old - 0.015 + 1e-4) / 0.85
+	if got := p.Apply(0, acc, old, g); got != old {
+		t.Fatalf("small move not suppressed: %g", got)
+	}
+	// A large move passes through.
+	if got := p.Apply(0, 0.5, old, g); got == old {
+		t.Fatal("large move suppressed")
+	}
+	if p.Name() != "pagerank-delta" {
+		t.Fatal("name")
+	}
+	if p.InitValue(3, g) != 0.1 || p.InitAccum() != 0 {
+		t.Fatal("init")
+	}
+	if got := p.Gather(0, 1, 0.3, 1, g); math.Abs(got-0.1) > 1e-15 {
+		t.Fatalf("gather = %g", got)
+	}
+}

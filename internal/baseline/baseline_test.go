@@ -1,0 +1,314 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+type runner struct {
+	name string
+	run  func(*graph.EdgeList, Alg, Config) (*Result, error)
+}
+
+func engines() []runner {
+	return []runner{
+		{"pregel", RunPregel},
+		{"graphd", RunGraphD},
+		{"powergraph", func(el *graph.EdgeList, a Alg, c Config) (*Result, error) {
+			c.Placement = RandomVertexCut
+			return RunGAS(el, a, c)
+		}},
+		{"powerlyra", func(el *graph.EdgeList, a Alg, c Config) (*Result, error) {
+			c.Placement = HybridCut
+			return RunGAS(el, a, c)
+		}},
+		{"chaos", RunChaos},
+	}
+}
+
+func wantClose(t *testing.T, got, want []float64, tol float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", label, len(got), len(want))
+	}
+	for v := range want {
+		g, w := got[v], want[v]
+		if math.IsInf(w, 1) {
+			if !math.IsInf(g, 1) {
+				t.Fatalf("%s: vertex %d = %g, want +Inf", label, v, g)
+			}
+			continue
+		}
+		if math.Abs(g-w) > tol {
+			t.Fatalf("%s: vertex %d = %.17g, want %.17g", label, v, g, w)
+		}
+	}
+}
+
+func TestPageRankAllEngines(t *testing.T) {
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 300, 2500, 11)
+	const steps = 10
+	want := graph.RefPageRank(el, steps)
+	for _, eng := range engines() {
+		t.Run(eng.name, func(t *testing.T) {
+			res, err := eng.run(el, PageRankAlg(), Config{
+				NumServers: 3, MaxSupersteps: steps, WorkDir: t.TempDir(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Message combining reorders float additions, so allow a tiny
+			// summation-order tolerance.
+			wantClose(t, res.Values, want, 1e-9, eng.name)
+			if res.Supersteps != steps {
+				t.Fatalf("ran %d supersteps, want %d", res.Supersteps, steps)
+			}
+		})
+	}
+}
+
+func TestSSSPAllEngines(t *testing.T) {
+	el := graph.AttachWeights(graph.GenerateRMAT(graph.DefaultRMAT(), 250, 2000, 13), 4, 7)
+	want := graph.RefSSSP(el, 0)
+	for _, eng := range engines() {
+		t.Run(eng.name, func(t *testing.T) {
+			res, err := eng.run(el, SSSPAlg(0), Config{
+				NumServers: 3, MaxSupersteps: 500, WorkDir: t.TempDir(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantClose(t, res.Values, want, 1e-9, eng.name)
+			if !res.Converged && res.Supersteps >= 500 {
+				t.Fatal("SSSP did not converge")
+			}
+		})
+	}
+}
+
+func TestWCCAllEngines(t *testing.T) {
+	el := graph.GenerateUniform(150, 300, 5)
+	sym := el.Symmetrize()
+	want := graph.RefWCC(el)
+	for _, eng := range engines() {
+		t.Run(eng.name, func(t *testing.T) {
+			res, err := eng.run(sym, WCCAlg(), Config{
+				NumServers: 2, MaxSupersteps: 500, WorkDir: t.TempDir(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				if uint32(res.Values[v]) != want[v] {
+					t.Fatalf("vertex %d labelled %g, want %d", v, res.Values[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+func TestBFSAllEngines(t *testing.T) {
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 200, 1500, 17)
+	want := graph.RefBFS(el, 3)
+	for _, eng := range engines() {
+		t.Run(eng.name, func(t *testing.T) {
+			res, err := eng.run(el, BFSAlg(3), Config{
+				NumServers: 2, MaxSupersteps: 500, WorkDir: t.TempDir(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantClose(t, res.Values, want, 0, eng.name)
+		})
+	}
+}
+
+func TestSingleServer(t *testing.T) {
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 150, 1000, 19)
+	want := graph.RefPageRank(el, 5)
+	for _, eng := range engines() {
+		t.Run(eng.name, func(t *testing.T) {
+			res, err := eng.run(el, PageRankAlg(), Config{
+				NumServers: 1, MaxSupersteps: 5, WorkDir: t.TempDir(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantClose(t, res.Values, want, 1e-9, eng.name)
+		})
+	}
+}
+
+func TestOutOfCoreEnginesTouchDisk(t *testing.T) {
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 200, 2000, 23)
+	gd, err := RunGraphD(el, PageRankAlg(), Config{NumServers: 2, MaxSupersteps: 3, WorkDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gd.DiskReadBytes == 0 || gd.DiskWriteBytes == 0 {
+		t.Fatalf("GraphD disk counters: read=%d write=%d", gd.DiskReadBytes, gd.DiskWriteBytes)
+	}
+	ch, err := RunChaos(el, PageRankAlg(), Config{NumServers: 2, MaxSupersteps: 3, WorkDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.DiskReadBytes == 0 || ch.DiskWriteBytes == 0 {
+		t.Fatalf("Chaos disk counters: read=%d write=%d", ch.DiskReadBytes, ch.DiskWriteBytes)
+	}
+	// Chaos spreads storage across the cluster: its network traffic must
+	// dwarf GraphD's combined-message traffic.
+	if ch.NetBytes <= gd.NetBytes {
+		t.Fatalf("Chaos net %d ≤ GraphD net %d; storage spreading not modelled",
+			ch.NetBytes, gd.NetBytes)
+	}
+	// In-memory Pregel+ must not touch disk at all.
+	pg, err := RunPregel(el, PageRankAlg(), Config{NumServers: 2, MaxSupersteps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.DiskReadBytes != 0 || pg.DiskWriteBytes != 0 {
+		t.Fatal("Pregel+ recorded disk traffic")
+	}
+}
+
+func TestMemoryProfiles(t *testing.T) {
+	// Table III ordering on a skewed graph: Pregel+ (states+edges+msgs) and
+	// PowerGraph (M|V| states + 2|E| edges) both dwarf GraphD (states only).
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 500, 10_000, 29)
+	cfg := Config{NumServers: 3, MaxSupersteps: 3, WorkDir: t.TempDir()}
+	pg, err := RunPregel(el, PageRankAlg(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WorkDir = t.TempDir()
+	gd, err := RunGraphD(el, PageRankAlg(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WorkDir = t.TempDir()
+	gas, err := RunGAS(el, PageRankAlg(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pg.TotalMemoryBytes() > gd.TotalMemoryBytes()) {
+		t.Fatalf("Pregel+ memory %d not above GraphD %d", pg.TotalMemoryBytes(), gd.TotalMemoryBytes())
+	}
+	if !(gas.TotalMemoryBytes() > gd.TotalMemoryBytes()) {
+		t.Fatalf("PowerGraph memory %d not above GraphD %d", gas.TotalMemoryBytes(), gd.TotalMemoryBytes())
+	}
+	if gas.ReplicationFactor < 1 || gas.ReplicationFactor > float64(cfg.NumServers) {
+		t.Fatalf("replication factor %g out of [1,N]", gas.ReplicationFactor)
+	}
+}
+
+func TestHybridCutReducesReplication(t *testing.T) {
+	// On a skewed graph PowerLyra's hybrid cut should not replicate more
+	// than the random vertex cut.
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 1000, 20_000, 31)
+	cfg := Config{NumServers: 4, MaxSupersteps: 2, HighDegreeThreshold: 30}
+	rand, err := RunGAS(el, PageRankAlg(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Placement = HybridCut
+	hyb, err := RunGAS(el, PageRankAlg(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyb.ReplicationFactor > rand.ReplicationFactor {
+		t.Fatalf("hybrid cut M=%g worse than random M=%g",
+			hyb.ReplicationFactor, rand.ReplicationFactor)
+	}
+}
+
+func TestServerCountInvariance(t *testing.T) {
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 200, 1500, 37)
+	want := graph.RefPageRank(el, 6)
+	for _, eng := range engines() {
+		for _, n := range []int{1, 2, 5} {
+			res, err := eng.run(el, PageRankAlg(), Config{
+				NumServers: n, MaxSupersteps: 6, WorkDir: t.TempDir(),
+			})
+			if err != nil {
+				t.Fatalf("%s N=%d: %v", eng.name, n, err)
+			}
+			wantClose(t, res.Values, want, 1e-9, eng.name)
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 200, 1500, 41)
+	res, err := RunPregel(el, PageRankAlg(), Config{NumServers: 3, MaxSupersteps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgStepDuration() <= 0 {
+		t.Fatal("no step durations")
+	}
+	if res.NetBytes == 0 {
+		t.Fatal("no network traffic in 3-server run")
+	}
+	if res.PeakMemoryBytes() <= 0 {
+		t.Fatal("no memory accounting")
+	}
+}
+
+func TestPairCodec(t *testing.T) {
+	ps := []pair{{1, 0.5}, {42, math.Inf(1)}, {7, -3}}
+	got, err := decodePairs(encodePairs(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ps) {
+		t.Fatalf("%d pairs, want %d", len(got), len(ps))
+	}
+	for i := range ps {
+		if got[i].id != ps[i].id {
+			t.Fatalf("pair %d id mismatch", i)
+		}
+		if got[i].val != ps[i].val && !(math.IsInf(got[i].val, 1) && math.IsInf(ps[i].val, 1)) {
+			t.Fatalf("pair %d val mismatch", i)
+		}
+	}
+	if _, err := decodePairs([]byte{1}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, err := decodePairs([]byte{2, 0, 0, 0, 1, 2, 3}); err == nil {
+		t.Fatal("inconsistent buffer accepted")
+	}
+}
+
+func TestAlgSpecs(t *testing.T) {
+	g := &Info{NumVertices: 10, NumEdges: 20, OutDeg: make([]uint32, 10)}
+	for i := range g.OutDeg {
+		g.OutDeg[i] = 2
+	}
+	pr := PageRankAlg()
+	if pr.Init(0, g) != 0.1 {
+		t.Fatal("PR init wrong")
+	}
+	if pr.Emit(3, 0.4, 1, g) != 0.2 {
+		t.Fatal("PR emit wrong")
+	}
+	ss := SSSPAlg(4)
+	if ss.Init(4, g) != 0 || !math.IsInf(ss.Init(5, g), 1) {
+		t.Fatal("SSSP init wrong")
+	}
+	if ss.Combine(3, 2) != 2 {
+		t.Fatal("SSSP combine wrong")
+	}
+	if ss.Apply(1, 5, 3, true, g) != 3 || ss.Apply(1, 5, 9, true, g) != 5 {
+		t.Fatal("SSSP apply wrong")
+	}
+	bfs := BFSAlg(0)
+	if bfs.Emit(1, 2, 99, g) != 3 {
+		t.Fatal("BFS emit must ignore weights")
+	}
+	wcc := WCCAlg()
+	if wcc.Emit(6, 6, 1, g) != 6 {
+		t.Fatal("WCC emit wrong")
+	}
+}

@@ -1,0 +1,348 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// netModel charges bytes against a per-server NIC with the same
+// virtual-clock throttle the disk model uses. Chaos spreads every streaming
+// partition's storage uniformly over the cluster, so (N-1)/N of its I/O is
+// remote; the engine reads peer stores directly (they share a process) and
+// accounts the transfer here.
+type netModel struct {
+	bw    int64
+	mu    sync.Mutex
+	busy  time.Time
+	bytes atomic.Int64
+}
+
+func (nm *netModel) charge(n int) {
+	nm.bytes.Add(int64(n))
+	if nm.bw <= 0 || n == 0 {
+		return
+	}
+	d := time.Duration(float64(n) / float64(nm.bw) * float64(time.Second))
+	nm.mu.Lock()
+	now := time.Now()
+	if nm.busy.Before(now) {
+		nm.busy = now
+	}
+	nm.busy = nm.busy.Add(d)
+	wake := nm.busy
+	nm.mu.Unlock()
+	time.Sleep(time.Until(wake))
+}
+
+// RunChaos executes alg with the Chaos model (§II-B-3, §II-C-3): the graph
+// is divided into streaming partitions (vertex ranges with their out-edges);
+// partition data — vertices, edges and message logs — is spread over every
+// server's disk uniformly, so essentially all I/O crosses the network.
+// Each superstep runs edge-centric scatter (stream out-edges, append
+// messages to the target partition's log), gather (stream the log,
+// accumulate) and apply (rewrite vertex values), costing O(2|E|+2|V|) disk
+// reads, O(|E|+|V|) disk writes and O(3|E|+3|V|) network per superstep
+// (Table III).
+func RunChaos(el *graph.EdgeList, alg Alg, cfg Config) (*Result, error) {
+	cfg = cfg.normalized()
+	g, _, outDeg := info(el)
+	n := cfg.NumServers
+	numParts := cfg.Partitions
+
+	workDir := cfg.WorkDir
+	if workDir == "" {
+		dir, err := os.MkdirTemp("", "chaos-run-")
+		if err != nil {
+			return nil, err
+		}
+		workDir = dir
+		defer os.RemoveAll(dir)
+	}
+	stores, err := newStores(workDir, n, cfg.Disk)
+	if err != nil {
+		return nil, err
+	}
+
+	setupStart := time.Now()
+	// Streaming partitions: contiguous vertex ranges balanced by out-edge
+	// count ("a set of vertices along with their out-edges").
+	splitter := outEdgeSplitter(outDeg, numParts)
+	numParts = len(splitter) - 1
+	partOf := func(v uint32) int {
+		return sort.Search(numParts, func(p int) bool { return splitter[p+1] > v })
+	}
+
+	// Spread partition data over the cluster: chunk c of partition p lives
+	// on server (p+c) mod n. Initial layout: one edge chunk per server.
+	edgeChunks := make([][]string, numParts) // chunk blob names per partition
+	for p := 0; p < numParts; p++ {
+		chunks := make([][]byte, n)
+		lo, hi := splitter[p], splitter[p+1]
+		i := 0
+		for _, e := range el.Edges {
+			if e.Src < lo || e.Src >= hi {
+				continue
+			}
+			var rec [12]byte
+			binary.LittleEndian.PutUint32(rec[0:], e.Src)
+			binary.LittleEndian.PutUint32(rec[4:], e.Dst)
+			binary.LittleEndian.PutUint32(rec[8:], math.Float32bits(e.W))
+			chunks[i%n] = append(chunks[i%n], rec[:]...)
+			i++
+		}
+		for c := 0; c < n; c++ {
+			name := fmt.Sprintf("p%05d/edges-%03d", p, c)
+			owner := (p + c) % n
+			if err := stores[owner].Write(name, chunks[c]); err != nil {
+				return nil, err
+			}
+			edgeChunks[p] = append(edgeChunks[p], name)
+		}
+	}
+	// Initial vertex values, one blob per partition on server (p+1) mod n
+	// (deliberately not the processing server: Chaos gives no locality).
+	for p := 0; p < numParts; p++ {
+		lo, hi := splitter[p], splitter[p+1]
+		blob := make([]byte, 8*(hi-lo))
+		for v := lo; v < hi; v++ {
+			binary.LittleEndian.PutUint64(blob[8*(v-lo):], math.Float64bits(alg.Init(v, g)))
+		}
+		if err := stores[(p+1)%n].Write(fmt.Sprintf("p%05d/values", p), blob); err != nil {
+			return nil, err
+		}
+	}
+
+	cl, err := cluster.New(cluster.Config{
+		NumNodes: n, Transport: cfg.Transport, NetBandwidth: cfg.NetBandwidth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	nets := make([]*netModel, n)
+	for i := range nets {
+		nets[i] = &netModel{bw: cfg.NetBandwidth}
+	}
+	// readRemote reads a blob from its owner's store, charging the reading
+	// server's NIC when the owner differs.
+	readRemote := func(reader, owner int, name string) ([]byte, error) {
+		data, err := stores[owner].Read(name)
+		if err != nil {
+			return nil, err
+		}
+		if reader != owner {
+			nets[reader].charge(len(data))
+		}
+		return data, nil
+	}
+	writeRemote := func(writer, owner int, name string, data []byte) error {
+		if writer != owner {
+			nets[writer].charge(len(data))
+		}
+		return stores[owner].Write(name, data)
+	}
+
+	// Message log registry: chunk names per target partition, per superstep.
+	var msgMu sync.Mutex
+	msgChunks := make([][]string, numParts)
+	msgOwner := make([][]int, numParts)
+
+	res := &Result{
+		Values:            make([]float64, g.NumVertices),
+		MemoryPerServer:   make([]int64, n),
+		ReplicationFactor: 1,
+	}
+	setup := time.Since(setupStart)
+
+	stepDur := make([][]time.Duration, n)
+	loopStart := time.Now()
+	runErr := cl.Run(func(node *cluster.Node) error {
+		j := node.ID()
+		var myParts []int
+		for p := j; p < numParts; p += n {
+			myParts = append(myParts, p)
+		}
+		var peakMem int64
+		seq := 0
+
+		for step := 0; step < cfg.MaxSupersteps; step++ {
+			start := time.Now()
+
+			// Scatter phase (Algorithm 3 lines 3–6).
+			for _, p := range myParts {
+				lo := splitter[p]
+				valBlob, err := readRemote(j, (p+1)%n, fmt.Sprintf("p%05d/values", p))
+				if err != nil {
+					return err
+				}
+				outBufs := make(map[int][]byte)
+				for c, name := range edgeChunks[p] {
+					owner := (p + c) % n
+					data, err := readRemote(j, owner, name)
+					if err != nil {
+						return err
+					}
+					for off := 0; off < len(data); off += 12 {
+						src := binary.LittleEndian.Uint32(data[off:])
+						val := math.Float64frombits(
+							binary.LittleEndian.Uint64(valBlob[8*(src-lo):]))
+						if val == alg.Identity {
+							continue
+						}
+						dst := binary.LittleEndian.Uint32(data[off+4:])
+						w := math.Float32frombits(binary.LittleEndian.Uint32(data[off+8:]))
+						m := alg.Emit(src, val, float64(w), g)
+						var rec [12]byte
+						binary.LittleEndian.PutUint32(rec[0:], dst)
+						binary.LittleEndian.PutUint64(rec[4:], math.Float64bits(m))
+						q := partOf(dst)
+						outBufs[q] = append(outBufs[q], rec[:]...)
+					}
+				}
+				var memHere int64 = int64(len(valBlob))
+				for q, buf := range outBufs {
+					memHere += int64(len(buf))
+					owner := (q + seq) % n
+					name := fmt.Sprintf("p%05d/msgs-s%d-from%d-%d", q, step, j, seq)
+					if err := writeRemote(j, owner, name, buf); err != nil {
+						return err
+					}
+					msgMu.Lock()
+					msgChunks[q] = append(msgChunks[q], name)
+					msgOwner[q] = append(msgOwner[q], owner)
+					msgMu.Unlock()
+					seq++
+				}
+				if memHere > peakMem {
+					peakMem = memHere
+				}
+			}
+			node.Barrier() // all message logs complete before gather
+
+			// Gather + apply phases (Algorithm 3 lines 7–12).
+			updated := 0
+			for _, p := range myParts {
+				lo, hi := splitter[p], splitter[p+1]
+				valBlob, err := readRemote(j, (p+1)%n, fmt.Sprintf("p%05d/values", p))
+				if err != nil {
+					return err
+				}
+				acc := make(map[uint32]float64)
+				msgMu.Lock()
+				chunks := append([]string(nil), msgChunks[p]...)
+				owners := append([]int(nil), msgOwner[p]...)
+				msgMu.Unlock()
+				for c, name := range chunks {
+					data, err := readRemote(j, owners[c], name)
+					if err != nil {
+						return err
+					}
+					for off := 0; off < len(data); off += 12 {
+						dst := binary.LittleEndian.Uint32(data[off:])
+						m := math.Float64frombits(binary.LittleEndian.Uint64(data[off+4:]))
+						if prev, ok := acc[dst]; ok {
+							acc[dst] = alg.Combine(prev, m)
+						} else {
+							acc[dst] = m
+						}
+					}
+					stores[owners[c]].Remove(name)
+				}
+				for v := lo; v < hi; v++ {
+					old := math.Float64frombits(binary.LittleEndian.Uint64(valBlob[8*(v-lo):]))
+					a, has := acc[v]
+					if !has {
+						a = alg.Identity
+					}
+					nv := alg.Apply(v, old, a, has, g)
+					if nv != old {
+						binary.LittleEndian.PutUint64(valBlob[8*(v-lo):], math.Float64bits(nv))
+						updated++
+					}
+				}
+				if err := writeRemote(j, (p+1)%n, fmt.Sprintf("p%05d/values", p), valBlob); err != nil {
+					return err
+				}
+				msgMu.Lock()
+				msgChunks[p] = msgChunks[p][:0]
+				msgOwner[p] = msgOwner[p][:0]
+				msgMu.Unlock()
+			}
+
+			total, err := exchangeCount(node, updated)
+			if err != nil {
+				return err
+			}
+			stepDur[j] = append(stepDur[j], time.Since(start))
+			node.Barrier()
+			if total == 0 {
+				break
+			}
+		}
+
+		// Table III: O(N|V|/P) vertex states in memory at a time plus the
+		// streaming buffers observed above.
+		res.MemoryPerServer[j] = peakMem
+		node.Barrier()
+
+		// Collect final values: rank 0 reads every partition's value blob.
+		if j == 0 {
+			for p := 0; p < numParts; p++ {
+				lo, hi := splitter[p], splitter[p+1]
+				blob, err := readRemote(0, (p+1)%n, fmt.Sprintf("p%05d/values", p))
+				if err != nil {
+					return err
+				}
+				for v := lo; v < hi; v++ {
+					res.Values[v] = math.Float64frombits(
+						binary.LittleEndian.Uint64(blob[8*(v-lo):]))
+				}
+			}
+		}
+		node.Barrier()
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	finish(res, stepDur, setup, time.Since(loopStart), cl)
+	for _, s := range stores {
+		c := s.Counters()
+		res.DiskReadBytes += c.ReadBytes
+		res.DiskWriteBytes += c.WriteBytes
+	}
+	for _, nm := range nets {
+		res.NetBytes += nm.bytes.Load()
+	}
+	return res, nil
+}
+
+// outEdgeSplitter balances streaming partitions by out-edge count, the
+// Chaos analogue of the tile splitter.
+func outEdgeSplitter(outDeg []uint32, parts int) []uint32 {
+	total := 0
+	for _, d := range outDeg {
+		total += int(d)
+	}
+	target := total/parts + 1
+	splitter := []uint32{0}
+	size := 0
+	for v := 0; v < len(outDeg); v++ {
+		size += int(outDeg[v])
+		if size >= target && v+1 < len(outDeg) && len(splitter) < parts {
+			splitter = append(splitter, uint32(v+1))
+			size = 0
+		}
+	}
+	return append(splitter, uint32(len(outDeg)))
+}

@@ -1,0 +1,154 @@
+package bloom
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := uint32(0); i < 1000; i++ {
+		f.Add(i * 7)
+	}
+	for i := uint32(0); i < 1000; i++ {
+		if !f.Contains(i * 7) {
+			t.Fatalf("false negative for key %d", i*7)
+		}
+	}
+}
+
+func TestFalsePositiveRateBounded(t *testing.T) {
+	f := New(10_000, 0.01)
+	rng := rand.New(rand.NewPCG(1, 2))
+	inserted := make(map[uint32]bool, 10_000)
+	for len(inserted) < 10_000 {
+		k := rng.Uint32()
+		inserted[k] = true
+		f.Add(k)
+	}
+	fp := 0
+	trials := 50_000
+	for i := 0; i < trials; i++ {
+		k := rng.Uint32()
+		if inserted[k] {
+			continue
+		}
+		if f.Contains(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(trials)
+	if rate > 0.05 { // generous 5x slack over the 1% target
+		t.Fatalf("false positive rate %.4f too high", rate)
+	}
+}
+
+func TestContainsAny(t *testing.T) {
+	f := New(100, 0.001)
+	for i := uint32(0); i < 100; i++ {
+		f.Add(i * 1000)
+	}
+	if !f.ContainsAny([]uint32{5, 17, 3000}) {
+		t.Fatal("ContainsAny missed an inserted key")
+	}
+	// All-absent batch: rarely positive at 0.1% fp rate with 3 keys.
+	if f.ContainsAny([]uint32{1, 2, 3}) {
+		t.Log("false positive on absent batch (acceptable, probabilistic)")
+	}
+	if f.ContainsAny(nil) {
+		t.Fatal("empty batch must be negative")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := New(500, 0.01)
+	for i := uint32(0); i < 500; i++ {
+		f.Add(i * 13)
+	}
+	g, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ApproxCount() != f.ApproxCount() || g.SizeBytes() != f.SizeBytes() {
+		t.Fatalf("metadata mismatch after round trip")
+	}
+	for i := uint32(0); i < 500; i++ {
+		if !g.Contains(i * 13) {
+			t.Fatalf("decoded filter lost key %d", i*13)
+		}
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short input accepted")
+	}
+	f := New(10, 0.01)
+	enc := f.Encode()
+	if _, err := Decode(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+	bad := make([]byte, len(enc))
+	copy(bad, enc)
+	bad[8] = 200 // k out of range
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("corrupt k accepted")
+	}
+}
+
+func TestTinyAndDegenerateSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		f := New(n, 0.01)
+		f.Add(42)
+		if !f.Contains(42) {
+			t.Fatalf("expectedKeys=%d: lost the only key", n)
+		}
+	}
+	f := New(100, -1) // invalid rate falls back to default
+	f.Add(7)
+	if !f.Contains(7) {
+		t.Fatal("fallback-rate filter lost key")
+	}
+}
+
+func TestEstimatedFPRate(t *testing.T) {
+	f := New(1000, 0.01)
+	if f.EstimatedFPRate() != 0 {
+		t.Fatal("empty filter should estimate 0")
+	}
+	for i := uint32(0); i < 1000; i++ {
+		f.Add(i)
+	}
+	est := f.EstimatedFPRate()
+	if est <= 0 || est > 0.05 {
+		t.Fatalf("estimate %g implausible for a filter at design load", est)
+	}
+}
+
+func TestPropertyNoFalseNegatives(t *testing.T) {
+	prop := func(keys []uint32) bool {
+		f := New(len(keys), 0.01)
+		for _, k := range keys {
+			f.Add(k)
+		}
+		for _, k := range keys {
+			if !f.Contains(k) {
+				return false
+			}
+		}
+		g, err := Decode(f.Encode())
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			if !g.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,270 @@
+// Package cache implements GraphH's edge cache system (§IV-B): a
+// capacity-bounded in-memory tile cache built on the idle memory of each
+// server, used to avoid re-reading tiles from local disk every superstep.
+//
+// The cache operates in one of the paper's four modes. Mode-1 keeps decoded
+// tiles (no load overhead, largest footprint); modes 2–4 keep tiles
+// compressed with snappy, zlib-1 or zlib-3 respectively, trading CPU
+// decompression time for a higher hit ratio under the same capacity. The
+// mode can be chosen automatically from the total tile size and capacity
+// using the paper's rule (compress.SelectCacheMode). Eviction is LRU.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/csr"
+)
+
+// Stats reports cache effectiveness, the metrics behind Figure 7.
+type Stats struct {
+	Hits        int64
+	Misses      int64
+	Evictions   int64
+	BytesCached int64
+	Entries     int
+	// DecompressTime accumulates time spent decompressing and decoding on
+	// hits — the overhead that makes zlib-3 slower than raw at equal hit
+	// ratio (Figure 7a).
+	DecompressTime time.Duration
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any access.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry struct {
+	id int
+	// exactly one of tile/blob is set, depending on the cache mode
+	tile *csr.Tile
+	blob []byte
+	size int64
+	elem *list.Element
+}
+
+// Policy selects the admission/eviction behaviour.
+type Policy int
+
+const (
+	// AdmitNoEvict is the paper's policy (§IV-B): a loaded tile is "left in
+	// the cache system if the cache system is not full"; nothing is ever
+	// evicted. Under the cyclic tile access of a superstep loop this
+	// yields a stable hit ratio equal to the cached fraction of tiles —
+	// the behaviour Figure 7(b) plots — where LRU would thrash to zero.
+	AdmitNoEvict Policy = iota
+	// LRU evicts least-recently-used entries to admit new ones.
+	LRU
+)
+
+// Cache is a bounded tile cache. It is safe for concurrent use by the
+// workers of one server.
+type Cache struct {
+	capacity int64
+	mode     compress.Mode
+	policy   Policy
+
+	mu      sync.Mutex
+	entries map[int]*entry
+	lru     *list.List // front = most recently used
+	bytes   int64
+	stats   Stats
+}
+
+// New creates a cache with the given capacity in bytes and mode, using the
+// paper's admit-without-eviction policy. A zero or negative capacity yields
+// a cache that stores nothing (every access is a miss), modelling a server
+// with no idle memory.
+func New(capacityBytes int64, mode compress.Mode) (*Cache, error) {
+	return NewWithPolicy(capacityBytes, mode, AdmitNoEvict)
+}
+
+// NewLRU creates a cache that evicts least-recently-used tiles when full.
+func NewLRU(capacityBytes int64, mode compress.Mode) (*Cache, error) {
+	return NewWithPolicy(capacityBytes, mode, LRU)
+}
+
+// NewWithPolicy creates a cache with an explicit policy.
+func NewWithPolicy(capacityBytes int64, mode compress.Mode, policy Policy) (*Cache, error) {
+	if !mode.Valid() {
+		return nil, fmt.Errorf("cache: invalid mode %d", int(mode))
+	}
+	if policy != AdmitNoEvict && policy != LRU {
+		return nil, fmt.Errorf("cache: invalid policy %d", int(policy))
+	}
+	return &Cache{
+		capacity: capacityBytes,
+		mode:     mode,
+		policy:   policy,
+		entries:  make(map[int]*entry),
+		lru:      list.New(),
+	}, nil
+}
+
+// NewAuto creates a cache whose mode is selected by the paper's rule from
+// the total tile bytes that will compete for the capacity.
+func NewAuto(totalTileBytes, capacityBytes int64) (*Cache, error) {
+	return New(capacityBytes, compress.SelectCacheMode(totalTileBytes, capacityBytes))
+}
+
+// Mode returns the cache's codec mode.
+func (c *Cache) Mode() compress.Mode { return c.mode }
+
+// Capacity returns the configured capacity in bytes.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Get returns the cached tile with the given id, or (nil, false) on a miss.
+// For compressed modes the tile is decompressed and decoded on the fly;
+// failures are treated as misses and the entry dropped.
+func (c *Cache) Get(id int) (*csr.Tile, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[id]
+	if !ok {
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	c.stats.Hits++
+	tile, blob := e.tile, e.blob
+	c.mu.Unlock()
+
+	if tile != nil {
+		return tile, true
+	}
+	start := time.Now()
+	raw, err := c.mode.Decompress(blob)
+	if err == nil {
+		var t *csr.Tile
+		t, err = csr.Decode(raw)
+		if err == nil {
+			c.mu.Lock()
+			c.stats.DecompressTime += time.Since(start)
+			c.mu.Unlock()
+			return t, true
+		}
+	}
+	// Corrupt cache entry: drop it and report a miss so the caller reloads
+	// from disk.
+	c.mu.Lock()
+	c.stats.Hits--
+	c.stats.Misses++
+	c.removeLocked(id)
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put inserts a tile. In mode None the decoded tile is retained; in
+// compressed modes its encoded form is compressed first. Tiles larger than
+// the whole capacity are not cached. Put never evicts the entry it just
+// inserted.
+func (c *Cache) Put(id int, t *csr.Tile) error {
+	if c.capacity <= 0 {
+		return nil
+	}
+	if c.policy == AdmitNoEvict {
+		// Skip the compression work when even an optimistic size estimate
+		// cannot fit: once the cache fills, later misses must not keep
+		// paying compression CPU for entries that will be declined.
+		optimistic := int64(float64(t.SizeBytes()) / c.mode.ExpectedRatio())
+		c.mu.Lock()
+		full := c.bytes+optimistic > c.capacity
+		_, present := c.entries[id]
+		c.mu.Unlock()
+		if full && !present {
+			return nil
+		}
+	}
+	var e *entry
+	if c.mode == compress.None {
+		e = &entry{id: id, tile: t, size: t.SizeBytes()}
+	} else {
+		blob, err := c.mode.Compress(t.Encode())
+		if err != nil {
+			return fmt.Errorf("cache: compressing tile %d: %w", id, err)
+		}
+		e = &entry{id: id, blob: blob, size: int64(len(blob))}
+	}
+	if e.size > c.capacity {
+		return nil
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[id]; ok {
+		c.bytes -= old.size
+		c.lru.Remove(old.elem)
+		delete(c.entries, id)
+	}
+	if c.policy == AdmitNoEvict {
+		if c.bytes+e.size > c.capacity {
+			return nil // full: the paper's cache simply declines (§IV-B)
+		}
+	} else {
+		for c.bytes+e.size > c.capacity {
+			back := c.lru.Back()
+			if back == nil {
+				break
+			}
+			victim := back.Value.(*entry)
+			c.removeLocked(victim.id)
+			c.stats.Evictions++
+		}
+	}
+	e.elem = c.lru.PushFront(e)
+	c.entries[id] = e
+	c.bytes += e.size
+	return nil
+}
+
+// GetOrLoad returns the cached tile or loads it with the supplied function,
+// inserting the result — the worker fast path of §IV-B: "when a worker
+// needs to load a tile, it firstly searches the cache system".
+func (c *Cache) GetOrLoad(id int, load func() (*csr.Tile, error)) (*csr.Tile, error) {
+	if t, ok := c.Get(id); ok {
+		return t, nil
+	}
+	t, err := load()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Put(id, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (c *Cache) removeLocked(id int) {
+	e, ok := c.entries[id]
+	if !ok {
+		return
+	}
+	c.bytes -= e.size
+	c.lru.Remove(e.elem)
+	delete(c.entries, id)
+}
+
+// Stats returns a snapshot of the cache statistics.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.BytesCached = c.bytes
+	s.Entries = len(c.entries)
+	return s
+}
+
+// ResetStats zeroes hit/miss/eviction counters, keeping contents.
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}

@@ -1,0 +1,370 @@
+// Package cluster simulates the small commodity cluster GraphH targets
+// (§III-A, §V). The paper's engine parallelizes across servers with MPI,
+// across cores with OpenMP, and broadcasts vertex updates over a ZMQ-based
+// channel. Here a cluster is N nodes hosted in one process; each node runs
+// its server program on its own goroutine (the MPI rank), fans work out to a
+// worker pool (the OpenMP threads), and communicates over a byte-counted
+// message transport with two interchangeable implementations:
+//
+//   - Inproc: channel-based, zero-copy-ish, for tests and benchmarks;
+//   - TCP: real loopback sockets with length-prefixed frames, proving the
+//     engine is transport-agnostic and exercising real serialization.
+//
+// The transport optionally models per-node NIC bandwidth the same way
+// package disk models HDD bandwidth, so network-bound behaviour (Figure 8)
+// is observable at laptop scale.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed is wrapped by transport operations that fail because the
+// cluster was shut down (possibly by another node aborting). Callers can
+// use errors.Is to distinguish secondary shutdown noise from the root
+// cause of a failed run.
+var ErrClosed = errors.New("cluster: transport closed")
+
+// TransportKind selects the communication substrate.
+type TransportKind int
+
+const (
+	// Inproc connects nodes with Go channels.
+	Inproc TransportKind = iota
+	// TCP connects nodes with loopback TCP sockets.
+	TCP
+)
+
+// String names the transport for experiment output.
+func (k TransportKind) String() string {
+	switch k {
+	case Inproc:
+		return "inproc"
+	case TCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("transport(%d)", int(k))
+	}
+}
+
+// Config describes a simulated cluster.
+type Config struct {
+	// NumNodes is N, the number of servers.
+	NumNodes int
+	// Transport selects the substrate; default Inproc.
+	Transport TransportKind
+	// NetBandwidth, if positive, throttles each node's outbound traffic to
+	// this many bytes per second (the 10 Gbps NIC of the paper's testbed
+	// would be 1.25e9).
+	NetBandwidth int64
+	// InboxCapacity bounds each node's receive queue; 0 means 4096.
+	InboxCapacity int
+}
+
+// Metrics captures one node's accumulated traffic.
+type Metrics struct {
+	BytesSent int64
+	BytesRecv int64
+	MsgsSent  int64
+	MsgsRecv  int64
+}
+
+// message is the unit moved by transports.
+type message struct {
+	from    int
+	payload []byte
+}
+
+// transport is the substrate interface shared by Inproc and TCP.
+type transport interface {
+	send(from, to int, payload []byte) error
+	recv(node int) (from int, payload []byte, err error)
+	close() error
+}
+
+// Cluster is a set of N simulated server nodes.
+type Cluster struct {
+	cfg   Config
+	tr    transport
+	bar   *reusableBarrier
+	sent  []atomic.Int64
+	recvd []atomic.Int64
+	msgsS []atomic.Int64
+	msgsR []atomic.Int64
+
+	// netClock implements the shared outbound-bandwidth model per node.
+	netMu    []sync.Mutex
+	netBusy  []time.Time
+	closedMu sync.Mutex
+	closed   bool
+}
+
+// New creates a cluster with the given configuration.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.NumNodes < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 node, got %d", cfg.NumNodes)
+	}
+	if cfg.InboxCapacity <= 0 {
+		cfg.InboxCapacity = 4096
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		bar:     newReusableBarrier(cfg.NumNodes),
+		sent:    make([]atomic.Int64, cfg.NumNodes),
+		recvd:   make([]atomic.Int64, cfg.NumNodes),
+		msgsS:   make([]atomic.Int64, cfg.NumNodes),
+		msgsR:   make([]atomic.Int64, cfg.NumNodes),
+		netMu:   make([]sync.Mutex, cfg.NumNodes),
+		netBusy: make([]time.Time, cfg.NumNodes),
+	}
+	var err error
+	switch cfg.Transport {
+	case Inproc:
+		c.tr = newInprocTransport(cfg.NumNodes, cfg.InboxCapacity)
+	case TCP:
+		c.tr, err = newTCPTransport(cfg.NumNodes, cfg.InboxCapacity)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown transport %v", cfg.Transport)
+	}
+	return c, nil
+}
+
+// NumNodes returns N.
+func (c *Cluster) NumNodes() int { return c.cfg.NumNodes }
+
+// Node returns the handle for node i.
+func (c *Cluster) Node(i int) *Node {
+	if i < 0 || i >= c.cfg.NumNodes {
+		panic(fmt.Sprintf("cluster: no node %d in %d-node cluster", i, c.cfg.NumNodes))
+	}
+	return &Node{c: c, id: i}
+}
+
+// Close shuts the transport down. Pending Recv calls return errors.
+func (c *Cluster) Close() error {
+	c.closedMu.Lock()
+	defer c.closedMu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.tr.close()
+}
+
+// NodeMetrics returns a snapshot of node i's traffic counters.
+func (c *Cluster) NodeMetrics(i int) Metrics {
+	return Metrics{
+		BytesSent: c.sent[i].Load(),
+		BytesRecv: c.recvd[i].Load(),
+		MsgsSent:  c.msgsS[i].Load(),
+		MsgsRecv:  c.msgsR[i].Load(),
+	}
+}
+
+// TotalMetrics sums traffic over all nodes.
+func (c *Cluster) TotalMetrics() Metrics {
+	var m Metrics
+	for i := 0; i < c.cfg.NumNodes; i++ {
+		n := c.NodeMetrics(i)
+		m.BytesSent += n.BytesSent
+		m.BytesRecv += n.BytesRecv
+		m.MsgsSent += n.MsgsSent
+		m.MsgsRecv += n.MsgsRecv
+	}
+	return m
+}
+
+// ResetMetrics zeroes all traffic counters (e.g. between supersteps).
+func (c *Cluster) ResetMetrics() {
+	for i := 0; i < c.cfg.NumNodes; i++ {
+		c.sent[i].Store(0)
+		c.recvd[i].Store(0)
+		c.msgsS[i].Store(0)
+		c.msgsR[i].Store(0)
+	}
+}
+
+// throttleNet models the sending node's NIC: it reserves transfer time on a
+// shared virtual clock, so concurrent sends from one node queue up.
+func (c *Cluster) throttleNet(node, n int) {
+	bw := c.cfg.NetBandwidth
+	if bw <= 0 || n == 0 {
+		return
+	}
+	d := time.Duration(float64(n) / float64(bw) * float64(time.Second))
+	c.netMu[node].Lock()
+	now := time.Now()
+	if c.netBusy[node].Before(now) {
+		c.netBusy[node] = now
+	}
+	c.netBusy[node] = c.netBusy[node].Add(d)
+	wakeAt := c.netBusy[node]
+	c.netMu[node].Unlock()
+	time.Sleep(time.Until(wakeAt))
+}
+
+// Node is one server's endpoint into the cluster.
+type Node struct {
+	c  *Cluster
+	id int
+}
+
+// ID returns the node's rank in [0, NumNodes).
+func (n *Node) ID() int { return n.id }
+
+// NumNodes returns the cluster size.
+func (n *Node) NumNodes() int { return n.c.cfg.NumNodes }
+
+// Send delivers payload to node `to`. Sending to self is allowed and
+// bypasses the network model.
+func (n *Node) Send(to int, payload []byte) error {
+	if to < 0 || to >= n.c.cfg.NumNodes {
+		return fmt.Errorf("cluster: node %d sending to invalid node %d", n.id, to)
+	}
+	if to != n.id {
+		n.c.throttleNet(n.id, len(payload))
+		n.c.sent[n.id].Add(int64(len(payload)))
+		n.c.msgsS[n.id].Add(1)
+	}
+	return n.c.tr.send(n.id, to, payload)
+}
+
+// Broadcast delivers payload to every other node — the ZMQ-style broadcast
+// interface of §III-A. The payload is not copied; callers must not mutate
+// it afterwards.
+func (n *Node) Broadcast(payload []byte) error {
+	for to := 0; to < n.c.cfg.NumNodes; to++ {
+		if to == n.id {
+			continue
+		}
+		if err := n.Send(to, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv blocks until a message addressed to this node arrives, returning the
+// sender's rank and the payload.
+func (n *Node) Recv() (from int, payload []byte, err error) {
+	from, payload, err = n.c.tr.recv(n.id)
+	if err == nil {
+		n.c.recvd[n.id].Add(int64(len(payload)))
+		n.c.msgsR[n.id].Add(1)
+	}
+	return from, payload, err
+}
+
+// RecvN receives exactly count messages, the per-superstep gather pattern
+// (each node expects one update broadcast from every peer).
+func (n *Node) RecvN(count int) ([][]byte, []int, error) {
+	payloads := make([][]byte, 0, count)
+	froms := make([]int, 0, count)
+	for len(payloads) < count {
+		from, p, err := n.Recv()
+		if err != nil {
+			return nil, nil, err
+		}
+		payloads = append(payloads, p)
+		froms = append(froms, from)
+	}
+	return payloads, froms, nil
+}
+
+// Barrier blocks until every node in the cluster has reached it — the BSP
+// synchronization point of Algorithm 5 line 17.
+func (n *Node) Barrier() { n.c.bar.wait() }
+
+// Run executes fn once per node, each on its own goroutine (the SPMD
+// pattern of an MPI program), and blocks until every node returns. If any
+// node fails, the cluster aborts — the barrier breaks and the transport
+// closes — so peers blocked in Recv or Barrier unwind instead of hanging;
+// Run then reports the root-cause error rather than the secondary
+// ErrClosed failures the abort provokes.
+func (c *Cluster) Run(fn func(n *Node) error) error {
+	errs := make([]error, c.cfg.NumNodes)
+	var wg sync.WaitGroup
+	for i := 0; i < c.cfg.NumNodes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(c.Node(i))
+			if errs[i] != nil {
+				c.abort()
+			}
+		}(i)
+	}
+	wg.Wait()
+	var first error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrClosed) {
+			return fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		if first == nil {
+			first = fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// abort breaks the barrier and closes the transport so that every node
+// blocked in Barrier or Recv unwinds.
+func (c *Cluster) abort() {
+	c.bar.breakBarrier()
+	c.Close()
+}
+
+// reusableBarrier is a classic generation-counting N-party barrier with a
+// break switch for aborted runs.
+type reusableBarrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    uint64
+	broken bool
+}
+
+func newReusableBarrier(n int) *reusableBarrier {
+	b := &reusableBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *reusableBarrier) wait() {
+	b.mu.Lock()
+	if b.broken {
+		b.mu.Unlock()
+		return
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen && !b.broken {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// breakBarrier permanently releases all current and future waiters.
+func (b *reusableBarrier) breakBarrier() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

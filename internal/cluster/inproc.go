@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// inprocTransport moves messages over per-node buffered channels. Payloads
+// are copied on send so that senders may reuse their buffers, matching the
+// semantics of the TCP transport. Shutdown is signalled through a done
+// channel rather than by closing the inboxes, so concurrent senders never
+// race a channel close.
+type inprocTransport struct {
+	inboxes   []chan message
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func newInprocTransport(n, capacity int) *inprocTransport {
+	t := &inprocTransport{
+		inboxes: make([]chan message, n),
+		done:    make(chan struct{}),
+	}
+	for i := range t.inboxes {
+		t.inboxes[i] = make(chan message, capacity)
+	}
+	return t
+}
+
+func (t *inprocTransport) send(from, to int, payload []byte) error {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	select {
+	case <-t.done:
+		return fmt.Errorf("cluster: send: %w", ErrClosed)
+	default:
+	}
+	select {
+	case t.inboxes[to] <- message{from: from, payload: cp}:
+		return nil
+	case <-t.done:
+		return fmt.Errorf("cluster: send: %w", ErrClosed)
+	}
+}
+
+func (t *inprocTransport) recv(node int) (int, []byte, error) {
+	select {
+	case msg := <-t.inboxes[node]:
+		return msg.from, msg.payload, nil
+	case <-t.done:
+		// Drain any message that raced the shutdown signal.
+		select {
+		case msg := <-t.inboxes[node]:
+			return msg.from, msg.payload, nil
+		default:
+		}
+		return 0, nil, fmt.Errorf("cluster: recv: %w", ErrClosed)
+	}
+}
+
+func (t *inprocTransport) close() error {
+	t.closeOnce.Do(func() { close(t.done) })
+	return nil
+}

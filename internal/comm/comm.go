@@ -1,0 +1,299 @@
+// Package comm implements GraphH's hybrid communication mode (§IV-C).
+//
+// After a worker processes a tile it broadcasts the tile's updated vertex
+// values to all other servers. Two wire representations exist:
+//
+//   - dense: a bitvector marking updated targets plus the full float64 value
+//     array for the tile's target range — compact bookkeeping but it "sends
+//     many zeros" when few vertices changed;
+//   - sparse: an explicit (local index, value) list — compact when updates
+//     are rare, wasteful when they are common because of the index overhead.
+//
+// GraphH buffers updates densely, measures the batch's sparsity ratio (the
+// fraction of unchanged vertices), and switches to the sparse encoding when
+// that ratio exceeds a threshold (0.8 in the paper). The encoded body can
+// additionally be compressed; snappy is the paper's default network codec.
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/compress"
+)
+
+// DefaultSparsityThreshold is the paper's switch point: use the sparse
+// encoding when more than 80% of the tile's targets are unchanged.
+const DefaultSparsityThreshold = 0.8
+
+// Update is one vertex update: a global vertex id and its new value.
+type Update struct {
+	ID    uint32
+	Value float64
+}
+
+// Batch is the set of updates a worker produced from one tile.
+type Batch struct {
+	// TileID identifies the tile that produced the updates.
+	TileID uint32
+	// Lo and Hi delimit the tile's target range; every update id is inside.
+	Lo, Hi uint32
+	// Updates lists the changed vertices, in ascending id order.
+	Updates []Update
+}
+
+// SparsityRatio returns the fraction of the batch's target range that did
+// not change — the quantity compared against the threshold (§IV-C).
+func (b *Batch) SparsityRatio() float64 {
+	n := int(b.Hi - b.Lo)
+	if n == 0 {
+		return 1
+	}
+	return 1 - float64(len(b.Updates))/float64(n)
+}
+
+// WireMode is the chosen array representation.
+type WireMode uint8
+
+const (
+	// DenseMode sends a bitvector plus the full range of values.
+	DenseMode WireMode = 0
+	// SparseMode sends (index, value) pairs.
+	SparseMode WireMode = 1
+)
+
+// String names the wire mode for experiment output.
+func (m WireMode) String() string {
+	if m == DenseMode {
+		return "dense"
+	}
+	return "sparse"
+}
+
+// ModeChoice controls encoder mode selection.
+type ModeChoice int
+
+const (
+	// Auto applies the sparsity-threshold rule (the hybrid mode).
+	Auto ModeChoice = iota
+	// ForceDense always uses the dense encoding (ablation).
+	ForceDense
+	// ForceSparse always uses the sparse encoding (ablation).
+	ForceSparse
+)
+
+// Options configures encoding.
+type Options struct {
+	// Choice selects hybrid/dense/sparse; default Auto.
+	Choice ModeChoice
+	// SparsityThreshold overrides the 0.8 default when positive.
+	SparsityThreshold float64
+	// Codec compresses the encoded body; None disables compression.
+	Codec compress.Mode
+}
+
+// Encoding reports what the encoder produced, for traffic accounting.
+type Encoding struct {
+	Mode WireMode
+	// Codec used on the body.
+	Codec compress.Mode
+	// RawBytes is the body size before compression, WireBytes the total
+	// message size on the wire (header + compressed body).
+	RawBytes  int
+	WireBytes int
+}
+
+const headerSize = 1 + 1 + 4 + 4 + 4 + 4 + 4 + 4
+
+// Header layout (little endian):
+//
+//	[0]   magic 0xB7
+//	[1]   mode (low nibble) | codec (high nibble)
+//	[2:6] tile id
+//	[6:10] lo
+//	[10:14] hi
+//	[14:18] update count
+//	[18:22] body length
+//	[22:26] CRC-32 of the (possibly compressed) body — snappy's block
+//	        format carries no integrity check of its own
+//	[26:]  body
+const magicByte = 0xB7
+
+// Encode serializes the batch per the options. The updates must be sorted
+// by id and lie within [Lo,Hi); Encode validates this.
+func Encode(b *Batch, opts Options) ([]byte, Encoding, error) {
+	if err := validateBatch(b); err != nil {
+		return nil, Encoding{}, err
+	}
+	threshold := opts.SparsityThreshold
+	if threshold <= 0 {
+		threshold = DefaultSparsityThreshold
+	}
+	mode := DenseMode
+	switch opts.Choice {
+	case Auto:
+		if b.SparsityRatio() > threshold {
+			mode = SparseMode
+		}
+	case ForceDense:
+		mode = DenseMode
+	case ForceSparse:
+		mode = SparseMode
+	default:
+		return nil, Encoding{}, fmt.Errorf("comm: unknown mode choice %d", int(opts.Choice))
+	}
+
+	var body []byte
+	switch mode {
+	case DenseMode:
+		body = encodeDense(b)
+	case SparseMode:
+		body = encodeSparse(b)
+	}
+	rawLen := len(body)
+	if !opts.Codec.Valid() {
+		return nil, Encoding{}, fmt.Errorf("comm: invalid codec %d", int(opts.Codec))
+	}
+	compressed, err := opts.Codec.Compress(body)
+	if err != nil {
+		return nil, Encoding{}, fmt.Errorf("comm: compressing body: %w", err)
+	}
+
+	msg := make([]byte, headerSize+len(compressed))
+	msg[0] = magicByte
+	msg[1] = uint8(mode) | uint8(opts.Codec)<<4
+	binary.LittleEndian.PutUint32(msg[2:], b.TileID)
+	binary.LittleEndian.PutUint32(msg[6:], b.Lo)
+	binary.LittleEndian.PutUint32(msg[10:], b.Hi)
+	binary.LittleEndian.PutUint32(msg[14:], uint32(len(b.Updates)))
+	binary.LittleEndian.PutUint32(msg[18:], uint32(len(compressed)))
+	binary.LittleEndian.PutUint32(msg[22:], crc32.ChecksumIEEE(compressed))
+	copy(msg[headerSize:], compressed)
+
+	return msg, Encoding{Mode: mode, Codec: opts.Codec, RawBytes: rawLen, WireBytes: len(msg)}, nil
+}
+
+func validateBatch(b *Batch) error {
+	if b.Hi < b.Lo {
+		return fmt.Errorf("comm: inverted range [%d,%d)", b.Lo, b.Hi)
+	}
+	prev := int64(-1)
+	for _, u := range b.Updates {
+		if u.ID < b.Lo || u.ID >= b.Hi {
+			return fmt.Errorf("comm: update id %d outside range [%d,%d)", u.ID, b.Lo, b.Hi)
+		}
+		if int64(u.ID) <= prev {
+			return fmt.Errorf("comm: update ids not strictly ascending at %d", u.ID)
+		}
+		prev = int64(u.ID)
+	}
+	return nil
+}
+
+// encodeDense writes bitvector + full value range ("sends many zeros").
+func encodeDense(b *Batch) []byte {
+	n := int(b.Hi - b.Lo)
+	bvLen := (n + 7) / 8
+	body := make([]byte, bvLen+8*n)
+	for _, u := range b.Updates {
+		local := int(u.ID - b.Lo)
+		body[local/8] |= 1 << (local % 8)
+		binary.LittleEndian.PutUint64(body[bvLen+8*local:], math.Float64bits(u.Value))
+	}
+	return body
+}
+
+// encodeSparse writes (local index, value) pairs.
+func encodeSparse(b *Batch) []byte {
+	body := make([]byte, 12*len(b.Updates))
+	for i, u := range b.Updates {
+		binary.LittleEndian.PutUint32(body[12*i:], u.ID-b.Lo)
+		binary.LittleEndian.PutUint64(body[12*i+4:], math.Float64bits(u.Value))
+	}
+	return body
+}
+
+// Decode parses a message produced by Encode.
+func Decode(msg []byte) (*Batch, Encoding, error) {
+	if len(msg) < headerSize {
+		return nil, Encoding{}, fmt.Errorf("comm: message too short (%d bytes)", len(msg))
+	}
+	if msg[0] != magicByte {
+		return nil, Encoding{}, fmt.Errorf("comm: bad magic %#x", msg[0])
+	}
+	mode := WireMode(msg[1] & 0x0F)
+	codec := compress.Mode(msg[1] >> 4)
+	if mode != DenseMode && mode != SparseMode {
+		return nil, Encoding{}, fmt.Errorf("comm: unknown wire mode %d", mode)
+	}
+	if !codec.Valid() {
+		return nil, Encoding{}, fmt.Errorf("comm: unknown codec %d", int(codec))
+	}
+	b := &Batch{
+		TileID: binary.LittleEndian.Uint32(msg[2:]),
+		Lo:     binary.LittleEndian.Uint32(msg[6:]),
+		Hi:     binary.LittleEndian.Uint32(msg[10:]),
+	}
+	count := binary.LittleEndian.Uint32(msg[14:])
+	bodyLen := binary.LittleEndian.Uint32(msg[18:])
+	if b.Hi < b.Lo {
+		return nil, Encoding{}, fmt.Errorf("comm: inverted range [%d,%d)", b.Lo, b.Hi)
+	}
+	if uint64(len(msg)) != uint64(headerSize)+uint64(bodyLen) {
+		return nil, Encoding{}, fmt.Errorf("comm: message length %d, header says %d", len(msg), headerSize+int(bodyLen))
+	}
+	if count > b.Hi-b.Lo {
+		return nil, Encoding{}, fmt.Errorf("comm: %d updates exceed range size %d", count, b.Hi-b.Lo)
+	}
+	wantCRC := binary.LittleEndian.Uint32(msg[22:])
+	if got := crc32.ChecksumIEEE(msg[headerSize:]); got != wantCRC {
+		return nil, Encoding{}, fmt.Errorf("comm: body checksum mismatch (got %#x want %#x)", got, wantCRC)
+	}
+	body, err := codec.Decompress(msg[headerSize:])
+	if err != nil {
+		return nil, Encoding{}, fmt.Errorf("comm: decompressing body: %w", err)
+	}
+
+	enc := Encoding{Mode: mode, Codec: codec, RawBytes: len(body), WireBytes: len(msg)}
+	n := int(b.Hi - b.Lo)
+	switch mode {
+	case DenseMode:
+		bvLen := (n + 7) / 8
+		if len(body) != bvLen+8*n {
+			return nil, Encoding{}, fmt.Errorf("comm: dense body %d bytes, want %d", len(body), bvLen+8*n)
+		}
+		b.Updates = make([]Update, 0, count)
+		for local := 0; local < n; local++ {
+			if body[local/8]&(1<<(local%8)) == 0 {
+				continue
+			}
+			bits := binary.LittleEndian.Uint64(body[bvLen+8*local:])
+			b.Updates = append(b.Updates, Update{
+				ID:    b.Lo + uint32(local),
+				Value: math.Float64frombits(bits),
+			})
+		}
+		if uint32(len(b.Updates)) != count {
+			return nil, Encoding{}, fmt.Errorf("comm: dense bitvector has %d updates, header says %d", len(b.Updates), count)
+		}
+	case SparseMode:
+		if len(body) != 12*int(count) {
+			return nil, Encoding{}, fmt.Errorf("comm: sparse body %d bytes, want %d", len(body), 12*int(count))
+		}
+		b.Updates = make([]Update, count)
+		for i := range b.Updates {
+			local := binary.LittleEndian.Uint32(body[12*i:])
+			if local >= uint32(n) {
+				return nil, Encoding{}, fmt.Errorf("comm: sparse index %d outside range size %d", local, n)
+			}
+			bits := binary.LittleEndian.Uint64(body[12*i+4:])
+			b.Updates[i] = Update{ID: b.Lo + local, Value: math.Float64frombits(bits)}
+		}
+	}
+	if err := validateBatch(b); err != nil {
+		return nil, Encoding{}, err
+	}
+	return b, enc, nil
+}

@@ -1,0 +1,160 @@
+// Package compress provides the uniform codec layer behind GraphH's edge
+// cache modes and network-message compression (§IV-B and §IV-C of the
+// paper). The paper evaluates four settings — raw, snappy, zlib-1 and
+// zlib-3 — and auto-selects among them using per-codec expected compression
+// ratios (γ₀=1, γ₁=2, γ₂=4, γ₃=5, Table V).
+package compress
+
+import (
+	"bytes"
+	"compress/zlib"
+	"fmt"
+	"io"
+
+	"repro/internal/snappy"
+)
+
+// Mode enumerates the paper's cache/communication codecs. The numbering
+// follows §IV-B: Mode-1 caches raw tiles, Mode-2 snappy, Mode-3 zlib-1 and
+// Mode-4 zlib-3.
+type Mode int
+
+const (
+	// None stores data uncompressed (cache mode-1).
+	None Mode = iota
+	// Snappy uses the snappy block format (cache mode-2, default network
+	// compressor).
+	Snappy
+	// Zlib1 uses zlib at compression level 1 (cache mode-3).
+	Zlib1
+	// Zlib3 uses zlib at compression level 3 (cache mode-4).
+	Zlib3
+	numModes
+)
+
+// Modes lists all codecs in cache-mode order.
+var Modes = []Mode{None, Snappy, Zlib1, Zlib3}
+
+// String returns the codec name used in experiment output.
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "raw"
+	case Snappy:
+		return "snappy"
+	case Zlib1:
+		return "zlib-1"
+	case Zlib3:
+		return "zlib-3"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// CacheModeNumber returns the paper's 1-based cache mode number.
+func (m Mode) CacheModeNumber() int { return int(m) + 1 }
+
+// ModeByName parses a codec name as printed by String.
+func ModeByName(name string) (Mode, error) {
+	for _, m := range Modes {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return None, fmt.Errorf("compress: unknown codec %q", name)
+}
+
+// ExpectedRatio returns the paper's planning estimate γᵢ of the codec's
+// compression ratio on graph tiles (§IV-B). The cache system uses these to
+// choose a mode before any data has been compressed.
+func (m Mode) ExpectedRatio() float64 {
+	switch m {
+	case None:
+		return 1
+	case Snappy:
+		return 2
+	case Zlib1:
+		return 4
+	case Zlib3:
+		return 5
+	default:
+		return 1
+	}
+}
+
+// Compress encodes src with the codec. The result of every mode is
+// self-contained: Decompress recovers src exactly without knowing the
+// original length.
+func (m Mode) Compress(src []byte) ([]byte, error) {
+	switch m {
+	case None:
+		out := make([]byte, len(src))
+		copy(out, src)
+		return out, nil
+	case Snappy:
+		return snappy.Encode(nil, src), nil
+	case Zlib1, Zlib3:
+		level := 1
+		if m == Zlib3 {
+			level = 3
+		}
+		var buf bytes.Buffer
+		zw, err := zlib.NewWriterLevel(&buf, level)
+		if err != nil {
+			return nil, fmt.Errorf("compress: %s writer: %w", m, err)
+		}
+		if _, err := zw.Write(src); err != nil {
+			return nil, fmt.Errorf("compress: %s write: %w", m, err)
+		}
+		if err := zw.Close(); err != nil {
+			return nil, fmt.Errorf("compress: %s close: %w", m, err)
+		}
+		return buf.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("compress: invalid mode %d", int(m))
+	}
+}
+
+// Decompress decodes data produced by Compress with the same mode.
+func (m Mode) Decompress(data []byte) ([]byte, error) {
+	switch m {
+	case None:
+		out := make([]byte, len(data))
+		copy(out, data)
+		return out, nil
+	case Snappy:
+		return snappy.Decode(nil, data)
+	case Zlib1, Zlib3:
+		zr, err := zlib.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("compress: %s reader: %w", m, err)
+		}
+		defer zr.Close()
+		out, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("compress: %s read: %w", m, err)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("compress: invalid mode %d", int(m))
+	}
+}
+
+// Valid reports whether m is a defined codec.
+func (m Mode) Valid() bool { return m >= None && m < numModes }
+
+// SelectCacheMode implements the paper's automatic cache-mode selection
+// (§IV-B): given the total tile bytes S and the cache capacity C, pick the
+// smallest mode i such that S/γᵢ ≤ C; if none fits, use zlib-1 (mode-3).
+// A non-positive capacity means "no cache" and also returns zlib-1, matching
+// the paper's fallback.
+func SelectCacheMode(totalTileBytes int64, capacityBytes int64) Mode {
+	if capacityBytes > 0 {
+		for _, m := range Modes {
+			if float64(totalTileBytes)/m.ExpectedRatio() <= float64(capacityBytes) {
+				return m
+			}
+		}
+	}
+	return Zlib1
+}

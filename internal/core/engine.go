@@ -1,0 +1,683 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/comm"
+	"repro/internal/compress"
+	"repro/internal/csr"
+	"repro/internal/disk"
+	"repro/internal/spe"
+	"repro/internal/tile"
+)
+
+// Config describes an engine deployment: the simulated cluster shape, the
+// storage model and the paper's optimization knobs.
+type Config struct {
+	// NumServers is N, the cluster size. Default 1.
+	NumServers int
+	// WorkersPerServer is T, the per-server worker pool (the OpenMP thread
+	// count in the paper). Default: GOMAXPROCS/N, at least 1.
+	WorkersPerServer int
+	// Transport selects the cluster substrate (default in-process).
+	Transport cluster.TransportKind
+	// NetBandwidth throttles each server's outbound NIC when positive.
+	NetBandwidth int64
+	// Disk models each server's local tile store.
+	Disk disk.Config
+	// WorkDir hosts the per-server local tile stores. Empty means a fresh
+	// directory under os.TempDir, removed after the run.
+	WorkDir string
+	// CacheCapacity is the per-server edge cache budget in bytes:
+	// 0 = unlimited (cache everything), negative = cache disabled.
+	CacheCapacity int64
+	// CacheAuto enables the paper's automatic mode selection (§IV-B);
+	// otherwise CacheMode is used as-is.
+	CacheAuto bool
+	// CacheMode is the fixed cache codec when CacheAuto is false.
+	CacheMode compress.Mode
+	// MsgCodec compresses update broadcasts (§IV-C); the paper's default
+	// is snappy (set by DefaultConfig).
+	MsgCodec compress.Mode
+	// Comm selects hybrid/dense/sparse wire encoding (default hybrid).
+	Comm comm.ModeChoice
+	// SparsityThreshold overrides the 0.8 hybrid switch point if positive.
+	SparsityThreshold float64
+	// Replication selects All-in-All (default) or On-Demand (§IV-A).
+	Replication ReplicationPolicy
+	// MaxSupersteps bounds the superstep loop. Default 100.
+	MaxSupersteps int
+	// BloomSkip enables inactive-tile skipping (§III-C-4).
+	BloomSkip bool
+	// BloomCheckLimit is the largest updated-vertex count for which tile
+	// filters are consulted; above it every tile is loaded. Default 1024.
+	BloomCheckLimit int
+	// DiskFailureHook, when non-nil, is installed on every server's local
+	// tile store — failure injection for tests (see disk.Store).
+	DiskFailureHook func(server int, op, name string) error
+}
+
+// DefaultConfig returns the paper's default engine configuration for an
+// N-server cluster: hybrid communication with snappy message compression,
+// automatic cache-mode selection with unlimited capacity, All-in-All
+// replication and Bloom tile skipping.
+func DefaultConfig(numServers int) Config {
+	return Config{
+		NumServers: numServers,
+		MsgCodec:   compress.Snappy,
+		CacheAuto:  true,
+		BloomSkip:  true,
+	}
+}
+
+func (c Config) normalized() Config {
+	if c.NumServers <= 0 {
+		c.NumServers = 1
+	}
+	if c.WorkersPerServer <= 0 {
+		c.WorkersPerServer = runtime.GOMAXPROCS(0) / c.NumServers
+		if c.WorkersPerServer < 1 {
+			c.WorkersPerServer = 1
+		}
+	}
+	if c.MaxSupersteps <= 0 {
+		c.MaxSupersteps = 100
+	}
+	if c.BloomCheckLimit <= 0 {
+		c.BloomCheckLimit = 1024
+	}
+	return c
+}
+
+// Input names the engine's data source: either an in-memory partition or a
+// manifest of SPE output persisted in the DFS.
+type Input struct {
+	// Partition supplies pre-partitioned tiles directly (testing and
+	// single-process pipelines).
+	Partition *tile.Partition
+	// SPE and Manifest locate tiles in the DFS (the production pipeline of
+	// Figure 3: raw graph → SPE → tiles → MPE).
+	SPE      *spe.Engine
+	Manifest *spe.Manifest
+}
+
+// Engine is the MPE. One Engine value can run many programs.
+type Engine struct {
+	cfg Config
+}
+
+// New creates an engine with the given configuration.
+func New(cfg Config) *Engine { return &Engine{cfg: cfg.normalized()} }
+
+// tileMeta is the in-memory descriptor a server keeps per assigned tile;
+// the tile body itself lives on local disk and in the edge cache.
+type tileMeta struct {
+	id       int
+	lo, hi   uint32
+	encBytes int64
+	filter   interface {
+		ContainsAny([]uint32) bool
+		SizeBytes() int
+	}
+}
+
+// Run executes the program on the input until convergence or MaxSupersteps.
+func (e *Engine) Run(in Input, prog Program) (*Result, error) {
+	cfg := e.cfg
+	g, numTiles, fetch, err := prepareInput(in)
+	if err != nil {
+		return nil, err
+	}
+	assign, err := tile.Assign(numTiles, cfg.NumServers)
+	if err != nil {
+		return nil, err
+	}
+
+	workDir := cfg.WorkDir
+	if workDir == "" {
+		dir, err := os.MkdirTemp("", "graphh-run-")
+		if err != nil {
+			return nil, fmt.Errorf("core: creating work dir: %w", err)
+		}
+		workDir = dir
+		defer os.RemoveAll(dir)
+	}
+
+	cl, err := cluster.New(cluster.Config{
+		NumNodes:     cfg.NumServers,
+		Transport:    cfg.Transport,
+		NetBandwidth: cfg.NetBandwidth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	res := &Result{
+		Values:  make([]float64, g.NumVertices),
+		Servers: make([]ServerStats, cfg.NumServers),
+	}
+	stepsByServer := make([][]StepStats, cfg.NumServers)
+	var setupMax, loopMax int64 // nanoseconds, max over servers
+
+	runErr := cl.Run(func(n *cluster.Node) error {
+		sv := &server{
+			cfg:    cfg,
+			node:   n,
+			graph:  g,
+			fetch:  fetch,
+			tiles:  assign.TilesOf[n.ID()],
+			total:  numTiles,
+			prog:   prog,
+			work:   filepath.Join(workDir, fmt.Sprintf("server-%d", n.ID())),
+			result: res,
+		}
+		setupDur, loopDur, steps, err := sv.run()
+		if err != nil {
+			return err
+		}
+		stepsByServer[n.ID()] = steps
+		atomicMax(&setupMax, int64(setupDur))
+		atomicMax(&loopMax, int64(loopDur))
+		m := cl.NodeMetrics(n.ID())
+		res.Servers[n.ID()].BytesSent = m.BytesSent
+		res.Servers[n.ID()].BytesRecv = m.BytesRecv
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	res.SetupDuration = time.Duration(setupMax)
+	res.Duration = time.Duration(loopMax)
+	mergeSteps(res, stepsByServer)
+	res.Supersteps = len(res.Steps)
+	res.Converged = res.Supersteps > 0 && res.Steps[res.Supersteps-1].Updated == 0
+	return res, nil
+}
+
+var atomicMaxMu sync.Mutex
+
+func atomicMax(dst *int64, v int64) {
+	atomicMaxMu.Lock()
+	if v > *dst {
+		*dst = v
+	}
+	atomicMaxMu.Unlock()
+}
+
+// prepareInput normalizes the two input kinds into a graph descriptor, the
+// tile count, and a fetch function that returns encoded tile bytes.
+func prepareInput(in Input) (*Graph, int, func(i int) ([]byte, error), error) {
+	switch {
+	case in.Partition != nil:
+		p := in.Partition
+		g := &Graph{
+			NumVertices: p.NumVertices,
+			NumEdges:    p.NumEdges,
+			OutDeg:      p.OutDeg,
+			InDeg:       p.InDeg,
+			Weighted:    p.Weighted,
+		}
+		// Pre-encode each tile once; servers fetch only their own.
+		encoded := make([][]byte, p.NumTiles())
+		var once sync.Mutex
+		fetch := func(i int) ([]byte, error) {
+			once.Lock()
+			defer once.Unlock()
+			if encoded[i] == nil {
+				encoded[i] = p.Tiles[i].Encode()
+			}
+			return encoded[i], nil
+		}
+		return g, p.NumTiles(), fetch, nil
+	case in.SPE != nil && in.Manifest != nil:
+		m := in.Manifest
+		in2, out, err := in.SPE.FetchDegrees(m)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		g := &Graph{
+			NumVertices: m.NumVertices,
+			NumEdges:    m.NumEdges,
+			OutDeg:      out,
+			InDeg:       in2,
+			Weighted:    m.Weighted,
+		}
+		d := in.SPE.DFS
+		fetch := func(i int) ([]byte, error) { return d.ReadFile(m.TilePaths[i]) }
+		return g, m.NumTiles(), fetch, nil
+	default:
+		return nil, 0, nil, fmt.Errorf("core: input needs either Partition or SPE+Manifest")
+	}
+}
+
+// server is the per-node execution state of one run.
+type server struct {
+	cfg    Config
+	node   *cluster.Node
+	graph  *Graph
+	fetch  func(i int) ([]byte, error)
+	tiles  []int
+	total  int
+	prog   Program
+	work   string
+	result *Result
+
+	store *disk.Store
+	cache *cache.Cache
+	metas []*tileMeta
+	state *vertexState
+}
+
+func tileBlobName(i int) string { return fmt.Sprintf("tiles/%05d", i) }
+
+// run executes setup, the superstep loop and final result collection for
+// one server, returning its per-step stats.
+func (s *server) run() (setupDur, loopDur time.Duration, steps []StepStats, err error) {
+	setupStart := time.Now()
+	if err := s.setup(); err != nil {
+		return 0, 0, nil, err
+	}
+	setupDur = time.Since(setupStart)
+
+	loopStart := time.Now()
+	steps, err = s.superstepLoop()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	loopDur = time.Since(loopStart)
+
+	if err := s.collectResult(); err != nil {
+		return 0, 0, nil, err
+	}
+	s.fillServerStats()
+	return setupDur, loopDur, steps, nil
+}
+
+// setup fetches assigned tiles to local disk, builds tile metadata, sizes
+// the edge cache, and initializes vertex replicas (Algorithm 5 lines 1–4).
+func (s *server) setup() error {
+	var err error
+	s.store, err = disk.NewStore(s.work, s.cfg.Disk)
+	if err != nil {
+		return err
+	}
+	if hook := s.cfg.DiskFailureHook; hook != nil {
+		id := s.node.ID()
+		s.store.SetFailureHook(func(op, name string) error { return hook(id, op, name) })
+	}
+
+	var totalEnc int64
+	var members []uint32
+	var memberSet map[uint32]struct{}
+	if s.cfg.Replication == OnDemand {
+		memberSet = make(map[uint32]struct{})
+	}
+	var bloomBytes int64
+	for _, i := range s.tiles {
+		enc, err := s.fetch(i)
+		if err != nil {
+			return fmt.Errorf("core: server %d fetching tile %d: %w", s.node.ID(), i, err)
+		}
+		if err := s.store.Write(tileBlobName(i), enc); err != nil {
+			return err
+		}
+		t, err := csr.Decode(enc)
+		if err != nil {
+			return fmt.Errorf("core: server %d decoding tile %d: %w", s.node.ID(), i, err)
+		}
+		meta := &tileMeta{id: i, lo: t.TargetLo, hi: t.TargetHi, encBytes: int64(len(enc))}
+		if t.Filter != nil {
+			meta.filter = t.Filter
+			bloomBytes += int64(t.Filter.SizeBytes())
+		}
+		s.metas = append(s.metas, meta)
+		totalEnc += int64(len(enc))
+		if memberSet != nil {
+			for v := t.TargetLo; v < t.TargetHi; v++ {
+				memberSet[v] = struct{}{}
+			}
+			for _, src := range t.Col {
+				memberSet[src] = struct{}{}
+			}
+		}
+	}
+
+	capacity := s.cfg.CacheCapacity
+	switch {
+	case capacity == 0:
+		capacity = math.MaxInt64
+	case capacity < 0:
+		capacity = 0
+	}
+	mode := s.cfg.CacheMode
+	if s.cfg.CacheAuto {
+		mode = compress.SelectCacheMode(totalEnc, capacity)
+	}
+	s.cache, err = cache.New(capacity, mode)
+	if err != nil {
+		return err
+	}
+
+	if s.cfg.Replication == OnDemand {
+		for v := range memberSet {
+			members = append(members, v)
+		}
+		s.state = newOnDemandState(members)
+		for _, v := range members {
+			s.state.set(v, s.prog.InitValue(v, s.graph))
+		}
+	} else {
+		s.state = newAllInAllState(s.graph.NumVertices)
+		for v := uint32(0); v < s.graph.NumVertices; v++ {
+			s.state.values[v] = s.prog.InitValue(v, s.graph)
+		}
+	}
+	s.result.Servers[s.node.ID()].VertexSlots = s.state.numSlots()
+	s.result.Servers[s.node.ID()].MemoryBytes = bloomBytes // completed in fillServerStats
+	return nil
+}
+
+// superstepLoop is Algorithm 5 lines 5–22.
+func (s *server) superstepLoop() ([]StepStats, error) {
+	n := s.node
+	expected := (s.total - len(s.tiles))
+	encOpts := comm.Options{
+		Choice:            s.cfg.Comm,
+		SparsityThreshold: s.cfg.SparsityThreshold,
+		Codec:             s.cfg.MsgCodec,
+	}
+
+	var steps []StepStats
+	var prevUpdated []uint32 // nil = unknown or too many: process all tiles
+
+	for step := 0; step < s.cfg.MaxSupersteps; step++ {
+		stepStart := time.Now()
+		st := StepStats{Superstep: step}
+
+		// Parallel tile processing on T workers (OpenMP pragma analog).
+		outs := make([]tileOut, len(s.metas))
+		var broadcastMu sync.Mutex
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < s.cfg.WorkersPerServer; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := range work {
+					outs[k] = s.processTile(k, step, prevUpdated, encOpts, &broadcastMu)
+				}
+			}()
+		}
+		for k := range s.metas {
+			work <- k
+		}
+		close(work)
+		wg.Wait()
+
+		updatedTotal := 0
+		var newUpdated []uint32
+		overLimit := false
+		absorb := func(ups []comm.Update) {
+			for _, u := range ups {
+				s.state.set(u.ID, u.Value)
+			}
+			updatedTotal += len(ups)
+			if !overLimit {
+				for _, u := range ups {
+					newUpdated = append(newUpdated, u.ID)
+				}
+				if len(newUpdated) > s.cfg.BloomCheckLimit {
+					overLimit = true
+					newUpdated = nil
+				}
+			}
+		}
+
+		for k := range outs {
+			o := &outs[k]
+			if o.err != nil {
+				return nil, o.err
+			}
+			if o.skipped {
+				st.SkippedTiles++
+			} else {
+				st.LoadedTiles++
+			}
+			if o.enc.Mode == comm.DenseMode {
+				st.DenseMsgs++
+			} else {
+				st.SparseMsgs++
+			}
+			// Wire bytes: each batch went to N-1 peers.
+			st.WireBytes += int64(o.enc.WireBytes) * int64(n.NumNodes()-1)
+			st.RawBytes += int64(o.enc.RawBytes) * int64(n.NumNodes()-1)
+			absorb(o.updates)
+		}
+
+		// Receive one batch per foreign tile and apply it (the Broadcast
+		// leg of GAB, receiver side).
+		if n.NumNodes() > 1 {
+			msgs, _, err := n.RecvN(expected)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range msgs {
+				b, _, err := comm.Decode(m)
+				if err != nil {
+					return nil, fmt.Errorf("core: server %d decoding update batch: %w", n.ID(), err)
+				}
+				absorb(b.Updates)
+			}
+		}
+
+		st.Updated = updatedTotal
+		st.Duration = time.Since(stepStart)
+		steps = append(steps, st)
+
+		n.Barrier()
+		if updatedTotal == 0 {
+			break
+		}
+		prevUpdated = newUpdated
+		if overLimit {
+			prevUpdated = nil
+		}
+	}
+	return steps, nil
+}
+
+// tileOut is the outcome of processing one tile in one superstep.
+type tileOut struct {
+	updates []comm.Update
+	enc     comm.Encoding
+	skipped bool
+	err     error
+}
+
+// processTile runs gather+apply over one tile and broadcasts the resulting
+// update batch (Algorithm 5 lines 8–16). Even skipped and empty tiles
+// broadcast a batch so receivers know exactly how many messages to expect.
+func (s *server) processTile(k, step int, prevUpdated []uint32, encOpts comm.Options, bmu *sync.Mutex) (out tileOut) {
+	meta := s.metas[k]
+	g := s.graph
+	prog := s.prog
+
+	skip := false
+	if step > 0 && s.cfg.BloomSkip && meta.filter != nil {
+		// prevUpdated == nil means "too many to check": always load.
+		if prevUpdated != nil && !meta.filter.ContainsAny(prevUpdated) {
+			skip = true
+		}
+	}
+	var updates []comm.Update
+	if !skip {
+		t, err := s.cache.GetOrLoad(meta.id, func() (*csr.Tile, error) {
+			data, err := s.store.Read(tileBlobName(meta.id))
+			if err != nil {
+				return nil, err
+			}
+			return csr.Decode(data)
+		})
+		if err != nil {
+			out.err = fmt.Errorf("core: server %d loading tile %d: %w", s.node.ID(), meta.id, err)
+			return out
+		}
+		for v := meta.lo; v < meta.hi; v++ {
+			srcs, vals := t.InEdges(v)
+			acc := prog.InitAccum()
+			if vals != nil {
+				for i, src := range srcs {
+					acc = prog.Gather(acc, src, s.state.get(src), float64(vals[i]), g)
+				}
+			} else {
+				for _, src := range srcs {
+					acc = prog.Gather(acc, src, s.state.get(src), 1, g)
+				}
+			}
+			old := s.state.get(v)
+			nv := prog.Apply(v, acc, old, g)
+			if nv != old {
+				updates = append(updates, comm.Update{ID: v, Value: nv})
+			}
+		}
+	}
+	out.updates = updates
+	out.skipped = skip
+
+	batch := &comm.Batch{TileID: uint32(meta.id), Lo: meta.lo, Hi: meta.hi, Updates: updates}
+	msg, enc, err := comm.Encode(batch, encOpts)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	out.enc = enc
+	// Broadcast serializes per server: the paper's workers also funnel
+	// through one NIC. This also keeps cluster.Node usage single-writer.
+	bmu.Lock()
+	err = s.node.Broadcast(msg)
+	bmu.Unlock()
+	if err != nil {
+		out.err = err
+	}
+	return out
+}
+
+// collectResult assembles the final value vector on server 0. Under
+// All-in-All, server 0 already has every replica; under On-Demand each
+// server owns the target ranges of its tiles and ships them to rank 0.
+func (s *server) collectResult() error {
+	n := s.node
+	if s.cfg.Replication == AllInAll {
+		if n.ID() == 0 {
+			copy(s.result.Values, s.state.values)
+		}
+		n.Barrier()
+		return nil
+	}
+	// On-Demand: exchange target-range values.
+	if n.ID() != 0 {
+		for _, meta := range s.metas {
+			ups := make([]comm.Update, 0, meta.hi-meta.lo)
+			for v := meta.lo; v < meta.hi; v++ {
+				ups = append(ups, comm.Update{ID: v, Value: s.state.get(v)})
+			}
+			msg, _, err := comm.Encode(&comm.Batch{
+				TileID: uint32(meta.id), Lo: meta.lo, Hi: meta.hi, Updates: ups,
+			}, comm.Options{Choice: comm.ForceDense, Codec: compress.Snappy})
+			if err != nil {
+				return err
+			}
+			if err := n.Send(0, msg); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, meta := range s.metas {
+			for v := meta.lo; v < meta.hi; v++ {
+				s.result.Values[v] = s.state.get(v)
+			}
+		}
+		msgs, _, err := n.RecvN(s.total - len(s.tiles))
+		if err != nil {
+			return err
+		}
+		for _, m := range msgs {
+			b, _, err := comm.Decode(m)
+			if err != nil {
+				return err
+			}
+			for _, u := range b.Updates {
+				s.result.Values[u.ID] = u.Value
+			}
+		}
+	}
+	n.Barrier()
+	return nil
+}
+
+// fillServerStats computes the analytic memory footprint (§IV-A accounting)
+// and snapshots disk and cache counters.
+func (s *server) fillServerStats() {
+	st := &s.result.Servers[s.node.ID()]
+	st.Server = s.node.ID()
+	mem := st.MemoryBytes // bloom filter bytes recorded during setup
+	mem += s.state.memoryBytes()
+	// The out-degree array each server keeps for programs like PageRank.
+	mem += int64(len(s.graph.OutDeg)) * 4
+	// Cache contents plus one in-flight decoded tile per worker.
+	cs := s.cache.Stats()
+	mem += cs.BytesCached
+	var maxTile int64
+	for _, m := range s.metas {
+		if m.encBytes > maxTile {
+			maxTile = m.encBytes
+		}
+	}
+	mem += maxTile * int64(s.cfg.WorkersPerServer)
+	st.MemoryBytes = mem
+	st.Disk = s.store.Counters()
+	st.Cache = cs
+	st.CacheMode = s.cache.Mode()
+}
+
+// mergeSteps folds the per-server step stats into cluster-wide rows: sums
+// for counters, max for durations.
+func mergeSteps(res *Result, byServer [][]StepStats) {
+	numSteps := 0
+	for _, ss := range byServer {
+		if len(ss) > numSteps {
+			numSteps = len(ss)
+		}
+	}
+	res.Steps = make([]StepStats, numSteps)
+	for i := range res.Steps {
+		res.Steps[i].Superstep = i
+	}
+	for sv, ss := range byServer {
+		for i, st := range ss {
+			dst := &res.Steps[i]
+			if sv == 0 {
+				dst.Updated = st.Updated // identical on every server
+			}
+			dst.WireBytes += st.WireBytes
+			dst.RawBytes += st.RawBytes
+			dst.DenseMsgs += st.DenseMsgs
+			dst.SparseMsgs += st.SparseMsgs
+			dst.SkippedTiles += st.SkippedTiles
+			dst.LoadedTiles += st.LoadedTiles
+			if st.Duration > dst.Duration {
+				dst.Duration = st.Duration
+			}
+		}
+	}
+}

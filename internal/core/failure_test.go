@@ -1,0 +1,238 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	. "repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/graph"
+	"repro/internal/spe"
+	"repro/internal/tile"
+)
+
+// TestPageRankDeltaConvergesEarly checks the epsilon-terminated PageRank
+// stops by itself and lands near the exact fixed point.
+func TestPageRankDeltaConvergesEarly(t *testing.T) {
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 300, 3000, 91)
+	full := runOn(t, el, apps.PageRank{}, func(c *Config) { c.MaxSupersteps = 300 })
+	delta := runOn(t, el, apps.PageRankDelta{Epsilon: 1e-8}, func(c *Config) { c.MaxSupersteps = 300 })
+	if !delta.Converged {
+		t.Fatal("delta PR did not converge")
+	}
+	if delta.Supersteps >= full.Supersteps && full.Converged {
+		t.Fatalf("delta PR (%d steps) not earlier than exact PR (%d steps)",
+			delta.Supersteps, full.Supersteps)
+	}
+	for v := range delta.Values {
+		if math.Abs(delta.Values[v]-full.Values[v]) > 1e-6 {
+			t.Fatalf("vertex %d drifted: %g vs %g", v, delta.Values[v], full.Values[v])
+		}
+	}
+}
+
+// TestDeltaSkipsTilesOnTail verifies that suppressed updates let the Bloom
+// filter skip tiles late in the run.
+func TestDeltaSkipsTilesOnTail(t *testing.T) {
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 400, 3000, 97)
+	res := runOn(t, el, apps.PageRankDelta{Epsilon: 1e-6}, func(c *Config) {
+		c.MaxSupersteps = 300
+	})
+	var skipped int
+	for _, st := range res.Steps {
+		skipped += st.SkippedTiles
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if skipped == 0 {
+		t.Log("no tiles skipped (frontier stayed wide); acceptable but unusual")
+	}
+}
+
+// TestDiskFailureSurfaces injects a read failure into a server's local tile
+// store mid-run and requires a descriptive error, not a hang or a panic.
+func TestDiskFailureSurfaces(t *testing.T) {
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 200, 1500, 7)
+	p, err := tile.Split(el, tile.Options{TileSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison server 0's tile reads after the first two succeed. Cache is
+	// disabled so the engine must hit the disk every superstep.
+	boom := errors.New("injected disk failure")
+	reads := 0
+	cfg := DefaultConfig(2)
+	cfg.WorkDir = t.TempDir()
+	cfg.CacheCapacity = -1
+	cfg.MaxSupersteps = 10
+	cfg.DiskFailureHook = func(server int, op, name string) error {
+		if server == 0 && op == "read" {
+			reads++
+			if reads > 2 {
+				return boom
+			}
+		}
+		return nil
+	}
+	_, err = New(cfg).Run(Input{Partition: p}, apps.PageRank{})
+	if err == nil {
+		t.Fatal("injected disk failure swallowed")
+	}
+	if !errors.Is(err, boom) && !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("error lost its cause: %v", err)
+	}
+}
+
+// TestDFSDatanodeFailureTolerated runs the full pipeline with a datanode
+// down: replication must keep the tiles readable.
+func TestDFSDatanodeFailureTolerated(t *testing.T) {
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 250, 2000, 17)
+	el.Name = "failover"
+	base := t.TempDir()
+	d, err := dfs.New([]string{
+		filepath.Join(base, "a"), filepath.Join(base, "b"), filepath.Join(base, "c"),
+	}, dfs.Config{Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := spe.New(d, 2)
+	man, err := eng.PreprocessEdgeList(el, "out/failover", tile.Options{TileSize: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill a datanode before MPE fetches its input.
+	if err := d.SetNodeDown(1, true); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(2)
+	cfg.WorkDir = t.TempDir()
+	cfg.MaxSupersteps = 5
+	res, err := New(cfg).Run(Input{SPE: eng, Manifest: man}, apps.PageRank{})
+	if err != nil {
+		t.Fatalf("run with one datanode down: %v", err)
+	}
+	want := graph.RefPageRank(el, 5)
+	wantClose(t, res.Values, want, 1e-12, "datanode-failover")
+}
+
+// TestDFSAllReplicasDownFails verifies the engine reports, rather than
+// masks, an unrecoverable storage failure.
+func TestDFSAllReplicasDownFails(t *testing.T) {
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 100, 600, 23)
+	el.Name = "dead"
+	base := t.TempDir()
+	d, err := dfs.New([]string{filepath.Join(base, "a"), filepath.Join(base, "b")},
+		dfs.Config{Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := spe.New(d, 2)
+	man, err := eng.PreprocessEdgeList(el, "out/dead", tile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetNodeDown(0, true)
+	d.SetNodeDown(1, true)
+	cfg := DefaultConfig(1)
+	cfg.WorkDir = t.TempDir()
+	if _, err := New(cfg).Run(Input{SPE: eng, Manifest: man}, apps.PageRank{}); err == nil {
+		t.Fatal("run succeeded with the whole DFS down")
+	}
+}
+
+// TestIsolatedVerticesAllPolicies exercises vertices with no edges at all,
+// which only exist in tile target ranges.
+func TestIsolatedVerticesAllPolicies(t *testing.T) {
+	el := &graph.EdgeList{NumVertices: 50}
+	for i := uint32(0); i < 10; i++ {
+		el.Edges = append(el.Edges, graph.Edge{Src: i, Dst: i + 1, W: 1})
+	}
+	// Vertices 11..49 are fully isolated.
+	for _, policy := range []ReplicationPolicy{AllInAll, OnDemand} {
+		res := runOn(t, el, apps.SSSP{Source: 0}, func(c *Config) { c.Replication = policy })
+		for v := 0; v <= 10; v++ {
+			if res.Values[v] != float64(v) {
+				t.Fatalf("%v: chain vertex %d = %g", policy, v, res.Values[v])
+			}
+		}
+		for v := 11; v < 50; v++ {
+			if !math.IsInf(res.Values[v], 1) {
+				t.Fatalf("%v: isolated vertex %d = %g, want +Inf", policy, v, res.Values[v])
+			}
+		}
+	}
+}
+
+// TestDuplicateEdgesCounted makes sure multigraph edges contribute
+// multiplicity (R-MAT outputs keep duplicates).
+func TestDuplicateEdgesCounted(t *testing.T) {
+	el := &graph.EdgeList{NumVertices: 3, Edges: []graph.Edge{
+		{Src: 0, Dst: 1, W: 1}, {Src: 0, Dst: 1, W: 1}, {Src: 2, Dst: 1, W: 1},
+	}}
+	res := runOn(t, el, apps.DegreeSum{}, nil)
+	if res.Values[1] != 3 {
+		t.Fatalf("vertex 1 counted %g in-edges, want 3 (duplicates kept)", res.Values[1])
+	}
+}
+
+// TestSelfLoops ensures self-edges behave like ordinary edges.
+func TestSelfLoops(t *testing.T) {
+	el := &graph.EdgeList{NumVertices: 2, Edges: []graph.Edge{
+		{Src: 0, Dst: 0, W: 1}, {Src: 0, Dst: 1, W: 1},
+	}}
+	want := graph.RefPageRank(el, 10)
+	res := runOn(t, el, apps.PageRank{}, func(c *Config) { c.MaxSupersteps = 10 })
+	wantClose(t, res.Values, want, 1e-12, "self-loops")
+}
+
+// TestManyTilesFewVertices stresses the degenerate partitioning regime of
+// one-vertex tiles.
+func TestManyTilesFewVertices(t *testing.T) {
+	el := graph.GenerateUniform(20, 400, 3)
+	p, err := tile.Split(el, tile.Options{TileSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumTiles() < 10 {
+		t.Fatalf("expected ~20 tiny tiles, got %d", p.NumTiles())
+	}
+	cfg := DefaultConfig(3)
+	cfg.WorkDir = t.TempDir()
+	cfg.MaxSupersteps = 5
+	res, err := New(cfg).Run(Input{Partition: p}, apps.PageRank{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.RefPageRank(el, 5)
+	wantClose(t, res.Values, want, 1e-12, "tiny-tiles")
+}
+
+// TestWorkDirIsolation runs two engines concurrently in separate work dirs.
+func TestWorkDirIsolation(t *testing.T) {
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 150, 1000, 29)
+	p, err := tile.Split(el, tile.Options{TileSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			cfg := DefaultConfig(2)
+			cfg.WorkDir = filepath.Join(t.TempDir(), fmt.Sprintf("run-%d", i))
+			cfg.MaxSupersteps = 5
+			_, err := New(cfg).Run(Input{Partition: p}, apps.PageRank{})
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package core implements GraphH's MPI-based graph processing engine (MPE)
+// and its GAB (Gather–Apply–Broadcast) computation model (§III-C of the
+// paper).
+//
+// In GAB every vertex keeps a replica on every server (the All-in-All
+// policy of §IV-A), each worker loads one CSR tile into memory at a time,
+// and a vertex update runs three functions: Gather folds information along
+// the vertex's in-edges reading source-vertex replicas from local memory
+// (never the network), Apply produces the new vertex value from the
+// accumulator, and Broadcast ships changed values to the other replicas.
+// Supersteps are bulk-synchronous (Algorithm 5); the program terminates when
+// a superstep updates no vertex.
+package core
+
+import "math"
+
+// Graph is the read-only per-server context handed to vertex programs: the
+// global vertex count and the degree arrays that SPE persisted (§III-B-1).
+type Graph struct {
+	NumVertices uint32
+	NumEdges    int
+	OutDeg      []uint32
+	InDeg       []uint32
+	Weighted    bool
+}
+
+// Program is a GAB vertex program (§III-C-2). GraphH "only requires users
+// to implement the gather and apply functions", plus the initializer that
+// Algorithms 6 and 7 call initial_vertex_states.
+//
+// Implementations must be pure functions of their arguments: the engine
+// invokes them concurrently from many workers on many simulated servers.
+type Program interface {
+	// Name identifies the program in experiment output.
+	Name() string
+	// InitValue returns the initial value of vertex v.
+	InitValue(v uint32, g *Graph) float64
+	// InitAccum is the gather identity element (0 for PageRank's sum,
+	// +Inf for SSSP's min).
+	InitAccum() float64
+	// Gather folds one in-edge (src, v) into the accumulator. srcVal is the
+	// current value of the source replica, w the edge value (1 on
+	// unweighted graphs).
+	Gather(acc float64, src uint32, srcVal float64, w float64, g *Graph) float64
+	// Apply combines the accumulator with the vertex's previous value and
+	// returns the updated value. The engine broadcasts the result only if
+	// it differs from the previous value.
+	Apply(v uint32, acc, old float64, g *Graph) float64
+}
+
+// ReplicationPolicy selects how vertex replicas are stored on each server
+// (§IV-A).
+type ReplicationPolicy int
+
+const (
+	// AllInAll gives every vertex a replica on every server: dense arrays,
+	// no indexing overhead, the GraphH default.
+	AllInAll ReplicationPolicy = iota
+	// OnDemand stores only the vertices that appear in a server's assigned
+	// tiles, at the cost of an id→slot index on every access.
+	OnDemand
+)
+
+// String names the policy for experiment output.
+func (p ReplicationPolicy) String() string {
+	if p == OnDemand {
+		return "on-demand"
+	}
+	return "all-in-all"
+}
+
+// vertexState holds one server's vertex replicas. With the AllInAll policy
+// index is nil and values[v] is vertex v's replica; with OnDemand only
+// member vertices have slots and every access goes through the index.
+type vertexState struct {
+	values []float64
+	index  map[uint32]uint32 // nil for AllInAll
+}
+
+func newAllInAllState(n uint32) *vertexState {
+	return &vertexState{values: make([]float64, n)}
+}
+
+// newOnDemandState builds the member set from the vertices the server
+// actually touches: all sources and targets of its assigned tiles.
+func newOnDemandState(members []uint32) *vertexState {
+	s := &vertexState{
+		values: make([]float64, len(members)),
+		index:  make(map[uint32]uint32, len(members)),
+	}
+	for i, v := range members {
+		s.index[v] = uint32(i)
+	}
+	return s
+}
+
+// has reports whether the server holds a replica of v.
+func (s *vertexState) has(v uint32) bool {
+	if s.index == nil {
+		return v < uint32(len(s.values))
+	}
+	_, ok := s.index[v]
+	return ok
+}
+
+// get returns v's replica value. The caller must ensure membership; with
+// AllInAll every vertex is a member.
+func (s *vertexState) get(v uint32) float64 {
+	if s.index == nil {
+		return s.values[v]
+	}
+	return s.values[s.index[v]]
+}
+
+// set overwrites v's replica value if the server holds one.
+func (s *vertexState) set(v uint32, val float64) {
+	if s.index == nil {
+		s.values[v] = val
+		return
+	}
+	if i, ok := s.index[v]; ok {
+		s.values[i] = val
+	}
+}
+
+// numSlots returns the number of replicas stored.
+func (s *vertexState) numSlots() int { return len(s.values) }
+
+// memoryBytes returns the analytic footprint of the state using the paper's
+// accounting (§IV-A): AllInAll spends Size(Vertex,Msg) = 8-byte value +
+// 8-byte message slot per vertex; OnDemand additionally pays a 4-byte id
+// plus a 4-byte slot per member for the index.
+func (s *vertexState) memoryBytes() int64 {
+	per := int64(16)
+	if s.index != nil {
+		per += 8
+	}
+	return per * int64(len(s.values))
+}
+
+// Inf is the initial "unreached" value used by traversal programs.
+var Inf = math.Inf(1)

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/compress"
+	"repro/internal/disk"
+)
+
+// StepStats records one superstep's behaviour, summed over all servers.
+// These are the series behind Figure 8.
+type StepStats struct {
+	// Superstep index, 0-based.
+	Superstep int
+	// Updated is the number of vertices whose value changed this step.
+	Updated int
+	// WireBytes is the network traffic of the step (message bytes actually
+	// sent between distinct servers); RawBytes the pre-compression size.
+	WireBytes int64
+	RawBytes  int64
+	// DenseMsgs and SparseMsgs count update batches by wire encoding.
+	DenseMsgs  int
+	SparseMsgs int
+	// SkippedTiles counts tiles pruned by the Bloom-filter check.
+	SkippedTiles int
+	// LoadedTiles counts tiles actually processed.
+	LoadedTiles int
+	// Duration is the wall-clock time of the step (max over servers).
+	Duration time.Duration
+}
+
+// ServerStats records one server's whole-run behaviour.
+type ServerStats struct {
+	// Server rank.
+	Server int
+	// MemoryBytes is the analytic peak memory footprint: vertex replicas +
+	// message array + degree arrays + cache contents + in-flight tiles +
+	// Bloom filters (§IV-A accounting).
+	MemoryBytes int64
+	// VertexSlots is the number of vertex replicas held (|V| for AllInAll).
+	VertexSlots int
+	// Disk is the local tile store traffic.
+	Disk disk.Counters
+	// Cache is the edge-cache statistics (Figure 7).
+	Cache cache.Stats
+	// CacheMode is the codec the cache ran with (auto-selected or fixed).
+	CacheMode compress.Mode
+	// BytesSent and BytesRecv are the server's network totals.
+	BytesSent int64
+	BytesRecv int64
+}
+
+// Result is the outcome of one engine run.
+type Result struct {
+	// Values holds the final value of every vertex.
+	Values []float64
+	// Supersteps actually executed (including the final all-quiet one).
+	Supersteps int
+	// Converged reports whether the run stopped because no vertex updated
+	// (as opposed to hitting MaxSupersteps).
+	Converged bool
+	// Steps has one entry per superstep.
+	Steps []StepStats
+	// Servers has one entry per server.
+	Servers []ServerStats
+	// Duration is the total wall-clock time of the superstep loop,
+	// excluding setup (tile fetch) — the paper reports averages without
+	// the first, loading, superstep.
+	Duration time.Duration
+	// SetupDuration covers tile fetch + state initialization.
+	SetupDuration time.Duration
+}
+
+// TotalWireBytes sums network traffic over all supersteps.
+func (r *Result) TotalWireBytes() int64 {
+	var n int64
+	for _, s := range r.Steps {
+		n += s.WireBytes
+	}
+	return n
+}
+
+// AvgStepDuration returns the mean superstep duration, excluding the first
+// superstep when there is more than one — the paper's reporting convention
+// (§V: "calculate the average execution time without the first superstep").
+func (r *Result) AvgStepDuration() time.Duration {
+	if len(r.Steps) == 0 {
+		return 0
+	}
+	steps := r.Steps
+	if len(steps) > 1 {
+		steps = steps[1:]
+	}
+	var total time.Duration
+	for _, s := range steps {
+		total += s.Duration
+	}
+	return total / time.Duration(len(steps))
+}
+
+// PeakMemoryBytes returns the largest per-server footprint, the quantity
+// Figure 6(b) plots.
+func (r *Result) PeakMemoryBytes() int64 {
+	var peak int64
+	for _, s := range r.Servers {
+		if s.MemoryBytes > peak {
+			peak = s.MemoryBytes
+		}
+	}
+	return peak
+}
+
+// TotalMemoryBytes sums the per-server footprints, the quantity Figure 1(a)
+// plots.
+func (r *Result) TotalMemoryBytes() int64 {
+	var total int64
+	for _, s := range r.Servers {
+		total += s.MemoryBytes
+	}
+	return total
+}

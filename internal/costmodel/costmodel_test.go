@@ -1,0 +1,145 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestEtaMatchesPaperFootnote(t *testing.T) {
+	// Footnote 3: EU-2015 (davg = 85.7), 9 nodes × 24 workers = 216
+	// workers → η expected ≈ 0.82.
+	eta := Eta(85.7, 216)
+	if math.Abs(eta-0.82) > 0.02 {
+		t.Fatalf("η = %.4f, paper expects ≈0.82", eta)
+	}
+	if Eta(0, 10) != 1 || Eta(10, 0) != 1 {
+		t.Fatal("degenerate inputs should give η=1")
+	}
+	// η decreases as workers shrink (more combining per worker).
+	if !(Eta(85.7, 9) < Eta(85.7, 216)) {
+		t.Fatal("η must shrink with fewer workers")
+	}
+}
+
+func TestReplicationFactorBounds(t *testing.T) {
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 2000, 30_000, 3)
+	in, out := el.Degrees()
+	for _, n := range []int{1, 2, 4, 9, 16} {
+		m := ReplicationFactor(in, out, n)
+		if m < 1 || m > float64(n) {
+			t.Fatalf("N=%d: M=%g out of [1,N]", n, m)
+		}
+	}
+	if ReplicationFactor(in, out, 9) <= ReplicationFactor(in, out, 3) {
+		t.Fatal("M must grow with N")
+	}
+}
+
+func TestFigure6aShape(t *testing.T) {
+	// Figure 6(a): for the paper-scale graphs, All-in-All beats On-Demand
+	// in small clusters; the crossover sits beyond ~16 servers and grows
+	// with density (EU-2015 crosses last).
+	for _, d := range graph.BenchmarkDatasets {
+		g := Params(d.PaperVertices, d.PaperEdges)
+		aa := AAMemoryPerServer(g)
+		odSmall := ODMemoryPerServer(g, 4)
+		if aa >= odSmall {
+			t.Fatalf("%s: AA (%.3g) not below OD (%.3g) at N=4", d.PaperName, aa, odSmall)
+		}
+		cross := CrossoverServers(g, 256)
+		if cross < 16 {
+			t.Fatalf("%s: crossover at N=%d, paper's figure shows ≥16", d.PaperName, cross)
+		}
+	}
+	twitter := Params(42_000_000, 1_500_000_000)
+	eu := Params(1_100_000_000, 91_800_000_000)
+	if !(CrossoverServers(twitter, 512) < CrossoverServers(eu, 512)) {
+		t.Fatal("denser graphs must cross over later")
+	}
+}
+
+func TestODMembersMonotone(t *testing.T) {
+	g := Params(1_000_000, 40_000_000)
+	prev := math.Inf(1)
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		m := ExpectedODMembers(g, n)
+		if m > float64(g.V)+1 {
+			t.Fatalf("N=%d: expected members %.0f exceeds |V|", n, m)
+		}
+		if m > prev {
+			t.Fatalf("N=%d: OD members grew with cluster size", n)
+		}
+		prev = m
+	}
+}
+
+func TestTableIIIOrdering(t *testing.T) {
+	g := Params(134_000_000, 5_500_000_000) // UK-2007
+	rows := TableIII(TableIIIInputs{Graph: g, N: 9, P: 270, W: 216, Beta: 0.2})
+	byName := map[string]SystemCost{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	if len(byName) != 5 {
+		t.Fatalf("want 5 systems, got %d", len(byName))
+	}
+	pregel, graphd := byName["Pregel+"], byName["GraphD"]
+	powergraph, chaos, graphh := byName["PowerGraph"], byName["Chaos"], byName["GraphH"]
+
+	// In-memory systems hold edges in RAM; out-of-core systems do not.
+	if pregel.RAMEdge == 0 || powergraph.RAMEdge == 0 {
+		t.Fatal("in-memory systems must budget edge RAM")
+	}
+	if graphd.RAMEdge != 0 || chaos.RAMEdge != 0 {
+		t.Fatal("out-of-core systems must not budget edge RAM")
+	}
+	// PowerGraph stores each edge twice.
+	if powergraph.RAMEdge != 2*pregel.RAMEdge {
+		t.Fatal("PowerGraph edge RAM must be 2x Pregel+'s")
+	}
+	// Disk: only GraphD, Chaos and (β-scaled) GraphH read disk; only the
+	// out-of-core systems write.
+	if pregel.DiskRead != 0 || powergraph.DiskRead != 0 {
+		t.Fatal("in-memory systems must not read disk")
+	}
+	if graphd.DiskWrite == 0 || chaos.DiskWrite == 0 || graphh.DiskWrite != 0 {
+		t.Fatal("disk write profile wrong")
+	}
+	// Chaos moves everything over the network: most traffic of all.
+	for _, r := range rows {
+		if r.System != "Chaos" && r.Network >= chaos.Network {
+			t.Fatalf("%s network %.3g ≥ Chaos %.3g", r.System, r.Network, chaos.Network)
+		}
+	}
+	// GraphH's disk reads scale with β.
+	zero := TableIII(TableIIIInputs{Graph: g, N: 9, P: 270, W: 216, Beta: 0})
+	for _, r := range zero {
+		if r.System == "GraphH" && r.DiskRead != 0 {
+			t.Fatal("β=0 must eliminate GraphH disk reads")
+		}
+	}
+}
+
+func TestMeasuredMultiplier(t *testing.T) {
+	if m, ok := MeasuredMultiplier("Giraph"); !ok || m != 8.5 {
+		t.Fatal("Giraph multiplier wrong")
+	}
+	if m, ok := MeasuredMultiplier("GraphX"); !ok || m != 7.3 {
+		t.Fatal("GraphX multiplier wrong")
+	}
+	if _, ok := MeasuredMultiplier("GraphH"); ok {
+		t.Fatal("implemented systems must not be modelled")
+	}
+}
+
+func TestParams(t *testing.T) {
+	p := Params(10, 50)
+	if p.AvgDeg != 5 {
+		t.Fatalf("avg degree %g", p.AvgDeg)
+	}
+	if Params(0, 0).AvgDeg != 0 {
+		t.Fatal("empty graph avg degree")
+	}
+}

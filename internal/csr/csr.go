@@ -1,0 +1,243 @@
+// Package csr implements GraphH's tile data structure: the "enhanced CSR"
+// representation of §III-B-2. A tile owns all in-edges of a contiguous
+// target-vertex range and stores them as three arrays — row (per-target
+// offsets), col (global source ids) and val (edge values, omitted for
+// unweighted graphs) — plus a Bloom filter over its source vertices used for
+// inactive-tile skipping (§III-C-4).
+//
+// Tiles serialize to a checksummed binary form; that is the unit persisted
+// to the DFS by the pre-processing engine, fetched to local disk by compute
+// servers, and held (possibly compressed) by the edge cache.
+package csr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/bloom"
+)
+
+// Tile holds the in-edges of the target-vertex range [TargetLo, TargetHi).
+type Tile struct {
+	// ID is the tile's index in the global tile sequence; MPE assigns tile
+	// i to server i mod N (§III-C-1).
+	ID uint32
+	// TargetLo and TargetHi delimit the half-open target-vertex range.
+	TargetLo, TargetHi uint32
+	// NumVertices is |V| of the whole graph; source ids are < NumVertices.
+	NumVertices uint32
+	// Row has TargetHi-TargetLo+1 entries; the in-edges of local target t
+	// (global id TargetLo+t) occupy Col[Row[t]:Row[t+1]].
+	Row []uint32
+	// Col holds global source vertex ids in target-major order.
+	Col []uint32
+	// Val holds edge values parallel to Col; nil for unweighted graphs,
+	// in which case every edge value is 1 (§III-B-2).
+	Val []float32
+	// Filter is the Bloom filter over the distinct source vertices in Col.
+	Filter *bloom.Filter
+}
+
+// NumTargets returns the number of target vertices covered by the tile.
+func (t *Tile) NumTargets() uint32 { return t.TargetHi - t.TargetLo }
+
+// NumEdges returns the number of edges stored in the tile.
+func (t *Tile) NumEdges() int { return len(t.Col) }
+
+// Weighted reports whether the tile carries explicit edge values.
+func (t *Tile) Weighted() bool { return t.Val != nil }
+
+// InEdges returns the source ids and edge values of the in-edges of the
+// global target vertex v, which must lie in [TargetLo, TargetHi). The value
+// slice is nil for unweighted tiles. Returned slices alias tile storage.
+func (t *Tile) InEdges(v uint32) (sources []uint32, values []float32) {
+	local := v - t.TargetLo
+	lo, hi := t.Row[local], t.Row[local+1]
+	sources = t.Col[lo:hi]
+	if t.Val != nil {
+		values = t.Val[lo:hi]
+	}
+	return sources, values
+}
+
+// SizeBytes returns the in-memory footprint of the tile arrays, the quantity
+// the edge cache budgets against (§IV-B).
+func (t *Tile) SizeBytes() int64 {
+	n := int64(len(t.Row))*4 + int64(len(t.Col))*4
+	if t.Val != nil {
+		n += int64(len(t.Val)) * 4
+	}
+	return n
+}
+
+// BuildFilter (re)builds the tile's source-vertex Bloom filter at the given
+// false-positive rate.
+func (t *Tile) BuildFilter(fpRate float64) {
+	// Deduplicate sources first so the filter is sized for the distinct set.
+	seen := make(map[uint32]struct{}, len(t.Col))
+	for _, s := range t.Col {
+		seen[s] = struct{}{}
+	}
+	f := bloom.New(len(seen), fpRate)
+	for s := range seen {
+		f.Add(s)
+	}
+	t.Filter = f
+}
+
+// Validate checks the structural invariants of the tile.
+func (t *Tile) Validate() error {
+	if t.TargetHi < t.TargetLo || t.TargetHi > t.NumVertices {
+		return fmt.Errorf("csr: tile %d has bad target range [%d,%d) over %d vertices",
+			t.ID, t.TargetLo, t.TargetHi, t.NumVertices)
+	}
+	if len(t.Row) != int(t.NumTargets())+1 {
+		return fmt.Errorf("csr: tile %d row array has %d entries, want %d",
+			t.ID, len(t.Row), t.NumTargets()+1)
+	}
+	if len(t.Row) > 0 {
+		if t.Row[0] != 0 {
+			return fmt.Errorf("csr: tile %d row[0] = %d, want 0", t.ID, t.Row[0])
+		}
+		for i := 1; i < len(t.Row); i++ {
+			if t.Row[i] < t.Row[i-1] {
+				return fmt.Errorf("csr: tile %d row not monotone at %d", t.ID, i)
+			}
+		}
+		if int(t.Row[len(t.Row)-1]) != len(t.Col) {
+			return fmt.Errorf("csr: tile %d row end %d != %d edges",
+				t.ID, t.Row[len(t.Row)-1], len(t.Col))
+		}
+	}
+	for i, s := range t.Col {
+		if s >= t.NumVertices {
+			return fmt.Errorf("csr: tile %d col[%d] = %d out of range", t.ID, i, s)
+		}
+	}
+	if t.Val != nil && len(t.Val) != len(t.Col) {
+		return fmt.Errorf("csr: tile %d val length %d != col length %d",
+			t.ID, len(t.Val), len(t.Col))
+	}
+	return nil
+}
+
+const (
+	tileMagic    = uint32(0x47485449) // "GHTI"
+	flagWeighted = 1 << 0
+	flagFilter   = 1 << 1
+)
+
+// Encode serializes the tile to its binary on-disk form: a fixed header,
+// optional Bloom filter, the row/col/val arrays, and a trailing CRC-32 over
+// everything before it.
+func (t *Tile) Encode() []byte {
+	var filterEnc []byte
+	if t.Filter != nil {
+		filterEnc = t.Filter.Encode()
+	}
+	size := 32 + len(filterEnc) + len(t.Row)*4 + len(t.Col)*4 + 4
+	if t.Val != nil {
+		size += len(t.Val) * 4
+	}
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint32(buf[0:], tileMagic)
+	binary.LittleEndian.PutUint32(buf[4:], t.ID)
+	binary.LittleEndian.PutUint32(buf[8:], t.TargetLo)
+	binary.LittleEndian.PutUint32(buf[12:], t.TargetHi)
+	binary.LittleEndian.PutUint32(buf[16:], t.NumVertices)
+	binary.LittleEndian.PutUint32(buf[20:], uint32(len(t.Col)))
+	var flags uint32
+	if t.Val != nil {
+		flags |= flagWeighted
+	}
+	if t.Filter != nil {
+		flags |= flagFilter
+	}
+	binary.LittleEndian.PutUint32(buf[24:], flags)
+	binary.LittleEndian.PutUint32(buf[28:], uint32(len(filterEnc)))
+	off := 32
+	off += copy(buf[off:], filterEnc)
+	for _, r := range t.Row {
+		binary.LittleEndian.PutUint32(buf[off:], r)
+		off += 4
+	}
+	for _, c := range t.Col {
+		binary.LittleEndian.PutUint32(buf[off:], c)
+		off += 4
+	}
+	if t.Val != nil {
+		for _, v := range t.Val {
+			binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
+			off += 4
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[:off]))
+	return buf
+}
+
+// Decode parses a tile encoded by Encode, verifying the checksum and all
+// structural invariants. It returns a descriptive error on any corruption.
+func Decode(data []byte) (*Tile, error) {
+	if len(data) < 36 {
+		return nil, fmt.Errorf("csr: encoded tile too short (%d bytes)", len(data))
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(crcBytes); got != want {
+		return nil, fmt.Errorf("csr: tile checksum mismatch (got %#x want %#x)", got, want)
+	}
+	if m := binary.LittleEndian.Uint32(body[0:]); m != tileMagic {
+		return nil, fmt.Errorf("csr: bad tile magic %#x", m)
+	}
+	t := &Tile{
+		ID:          binary.LittleEndian.Uint32(body[4:]),
+		TargetLo:    binary.LittleEndian.Uint32(body[8:]),
+		TargetHi:    binary.LittleEndian.Uint32(body[12:]),
+		NumVertices: binary.LittleEndian.Uint32(body[16:]),
+	}
+	numEdges := binary.LittleEndian.Uint32(body[20:])
+	flags := binary.LittleEndian.Uint32(body[24:])
+	filterLen := binary.LittleEndian.Uint32(body[28:])
+	if t.TargetHi < t.TargetLo {
+		return nil, fmt.Errorf("csr: inverted target range [%d,%d)", t.TargetLo, t.TargetHi)
+	}
+	numRow := uint64(t.TargetHi-t.TargetLo) + 1
+	want := uint64(32) + uint64(filterLen) + numRow*4 + uint64(numEdges)*4
+	if flags&flagWeighted != 0 {
+		want += uint64(numEdges) * 4
+	}
+	if uint64(len(body)) != want {
+		return nil, fmt.Errorf("csr: tile body %d bytes, want %d", len(body), want)
+	}
+	off := 32
+	if flags&flagFilter != 0 {
+		f, err := bloom.Decode(body[off : off+int(filterLen)])
+		if err != nil {
+			return nil, fmt.Errorf("csr: tile filter: %w", err)
+		}
+		t.Filter = f
+	}
+	off += int(filterLen)
+	t.Row = make([]uint32, numRow)
+	for i := range t.Row {
+		t.Row[i] = binary.LittleEndian.Uint32(body[off:])
+		off += 4
+	}
+	t.Col = make([]uint32, numEdges)
+	for i := range t.Col {
+		t.Col[i] = binary.LittleEndian.Uint32(body[off:])
+		off += 4
+	}
+	if flags&flagWeighted != 0 {
+		t.Val = make([]float32, numEdges)
+		for i := range t.Val {
+			t.Val[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[off:]))
+			off += 4
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

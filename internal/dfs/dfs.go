@@ -1,0 +1,316 @@
+// Package dfs implements the distributed file system substrate of GraphH's
+// architecture (§III-A): the storage layer that "centrally manages all raw
+// input graphs, partitioned graphs (i.e., tiles), and processing results".
+// The paper runs on HDFS or Lustre; this package provides a self-contained
+// replicated block store with the same role: a namenode tracks files as
+// sequences of fixed-size blocks, datanodes persist checksummed block
+// replicas in local directories, reads transparently fail over between
+// replicas, and writes stripe replicas across datanodes.
+package dfs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// DefaultBlockSize is the block granularity files are chunked into.
+const DefaultBlockSize = 4 << 20
+
+// Config configures a DFS instance.
+type Config struct {
+	// Replication is the number of replicas per block, capped at the number
+	// of datanodes. Zero means 2.
+	Replication int
+	// BlockSize is the chunking granularity in bytes. Zero means
+	// DefaultBlockSize.
+	BlockSize int
+}
+
+type blockMeta struct {
+	id       uint64
+	size     int
+	replicas []int // datanode indices holding this block
+}
+
+type fileMeta struct {
+	blocks []blockMeta
+	size   int64
+}
+
+type datanode struct {
+	dir  string
+	down bool // failure injection: a down node rejects all I/O
+}
+
+// DFS is the namenode plus its datanodes. All methods are safe for
+// concurrent use.
+type DFS struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	nodes  []*datanode
+	files  map[string]*fileMeta
+	nextID uint64
+	// placement round-robin cursor, advanced per block for even striping.
+	cursor int
+}
+
+// New creates a DFS whose datanodes store blocks under the given local
+// directories (created if missing). At least one directory is required.
+func New(dirs []string, cfg Config) (*DFS, error) {
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("dfs: need at least one datanode directory")
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	if cfg.Replication > len(dirs) {
+		cfg.Replication = len(dirs)
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	d := &DFS{cfg: cfg, files: make(map[string]*fileMeta)}
+	for _, dir := range dirs {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("dfs: creating datanode dir %q: %w", dir, err)
+		}
+		d.nodes = append(d.nodes, &datanode{dir: dir})
+	}
+	return d, nil
+}
+
+// NumDataNodes returns the number of datanodes.
+func (d *DFS) NumDataNodes() int { return len(d.nodes) }
+
+// SetNodeDown marks a datanode as failed (or recovered). Reads fail over to
+// surviving replicas; writes skip down nodes.
+func (d *DFS) SetNodeDown(node int, down bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if node < 0 || node >= len(d.nodes) {
+		return fmt.Errorf("dfs: no datanode %d", node)
+	}
+	d.nodes[node].down = down
+	return nil
+}
+
+func blockFile(dir string, id uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("blk_%016x", id))
+}
+
+// block on-disk layout: 4-byte CRC-32 of payload, then payload.
+func encodeBlock(payload []byte) []byte {
+	out := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(out, crc32.ChecksumIEEE(payload))
+	copy(out[4:], payload)
+	return out
+}
+
+func decodeBlock(raw []byte) ([]byte, error) {
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("dfs: block shorter than checksum header")
+	}
+	want := binary.LittleEndian.Uint32(raw)
+	payload := raw[4:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, fmt.Errorf("dfs: block checksum mismatch")
+	}
+	return payload, nil
+}
+
+// WriteFile stores data under name, replacing any existing file. Each block
+// is replicated onto Replication distinct live datanodes.
+func (d *DFS) WriteFile(name string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if name == "" {
+		return fmt.Errorf("dfs: empty file name")
+	}
+	if old, ok := d.files[name]; ok {
+		d.removeBlocksLocked(old)
+		delete(d.files, name)
+	}
+	meta := &fileMeta{size: int64(len(data))}
+	for off := 0; off == 0 || off < len(data); off += d.cfg.BlockSize {
+		end := off + d.cfg.BlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		payload := data[off:end]
+		bm := blockMeta{id: d.nextID, size: len(payload)}
+		d.nextID++
+		enc := encodeBlock(payload)
+		placed := 0
+		for probe := 0; probe < len(d.nodes) && placed < d.cfg.Replication; probe++ {
+			idx := (d.cursor + probe) % len(d.nodes)
+			node := d.nodes[idx]
+			if node.down {
+				continue
+			}
+			if err := os.WriteFile(blockFile(node.dir, bm.id), enc, 0o644); err != nil {
+				continue // treat as node failure; try the next one
+			}
+			bm.replicas = append(bm.replicas, idx)
+			placed++
+		}
+		d.cursor++
+		if placed == 0 {
+			d.removeBlocksLocked(meta)
+			return fmt.Errorf("dfs: no live datanode accepted block %d of %q", bm.id, name)
+		}
+		meta.blocks = append(meta.blocks, bm)
+		if len(data) == 0 {
+			break
+		}
+	}
+	d.files[name] = meta
+	return nil
+}
+
+// ReadFile returns the contents of name, failing over between block replicas
+// when a datanode is down or a replica is corrupt.
+func (d *DFS) ReadFile(name string) ([]byte, error) {
+	d.mu.RLock()
+	meta, ok := d.files[name]
+	if !ok {
+		d.mu.RUnlock()
+		return nil, fmt.Errorf("dfs: no such file %q", name)
+	}
+	blocks := make([]blockMeta, len(meta.blocks))
+	copy(blocks, meta.blocks)
+	size := meta.size
+	nodes := d.nodes
+	d.mu.RUnlock()
+
+	out := bytes.NewBuffer(make([]byte, 0, size))
+	for _, bm := range blocks {
+		payload, err := d.readBlock(nodes, bm)
+		if err != nil {
+			return nil, fmt.Errorf("dfs: reading %q: %w", name, err)
+		}
+		out.Write(payload)
+	}
+	return out.Bytes(), nil
+}
+
+func (d *DFS) readBlock(nodes []*datanode, bm blockMeta) ([]byte, error) {
+	var lastErr error
+	for _, idx := range bm.replicas {
+		d.mu.RLock()
+		down := nodes[idx].down
+		d.mu.RUnlock()
+		if down {
+			lastErr = fmt.Errorf("datanode %d down", idx)
+			continue
+		}
+		raw, err := os.ReadFile(blockFile(nodes[idx].dir, bm.id))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		payload, err := decodeBlock(raw)
+		if err != nil {
+			lastErr = fmt.Errorf("replica on datanode %d: %w", idx, err)
+			continue
+		}
+		if len(payload) != bm.size {
+			lastErr = fmt.Errorf("replica on datanode %d: size %d, want %d", idx, len(payload), bm.size)
+			continue
+		}
+		return payload, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("block %d has no replicas", bm.id)
+	}
+	return nil, fmt.Errorf("all replicas of block %d failed: %w", bm.id, lastErr)
+}
+
+// Remove deletes a file and its blocks.
+func (d *DFS) Remove(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	meta, ok := d.files[name]
+	if !ok {
+		return fmt.Errorf("dfs: no such file %q", name)
+	}
+	d.removeBlocksLocked(meta)
+	delete(d.files, name)
+	return nil
+}
+
+func (d *DFS) removeBlocksLocked(meta *fileMeta) {
+	for _, bm := range meta.blocks {
+		for _, idx := range bm.replicas {
+			os.Remove(blockFile(d.nodes[idx].dir, bm.id))
+		}
+	}
+}
+
+// Stat returns the size of a file.
+func (d *DFS) Stat(name string) (int64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	meta, ok := d.files[name]
+	if !ok {
+		return 0, fmt.Errorf("dfs: no such file %q", name)
+	}
+	return meta.size, nil
+}
+
+// List returns the names of all files with the given prefix, sorted.
+func (d *DFS) List(prefix string) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var names []string
+	for name := range d.files {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalStoredBytes returns the summed logical size of all files, the
+// quantity Table IV reports as each system's pre-processed input size.
+func (d *DFS) TotalStoredBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var n int64
+	for _, meta := range d.files {
+		n += meta.size
+	}
+	return n
+}
+
+// CorruptReplica flips bytes in one stored replica of the file's first
+// block — failure injection for testing checksum fail-over.
+func (d *DFS) CorruptReplica(name string, replica int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	meta, ok := d.files[name]
+	if !ok || len(meta.blocks) == 0 {
+		return fmt.Errorf("dfs: no such file %q", name)
+	}
+	bm := meta.blocks[0]
+	if replica < 0 || replica >= len(bm.replicas) {
+		return fmt.Errorf("dfs: block has %d replicas", len(bm.replicas))
+	}
+	idx := bm.replicas[replica]
+	path := blockFile(d.nodes[idx].dir, bm.id)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(raw) > 8 {
+		raw[8] ^= 0xFF
+	}
+	return os.WriteFile(path, raw, 0o644)
+}

@@ -1,0 +1,266 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestDFS(t *testing.T, numNodes int, cfg Config) *DFS {
+	t.Helper()
+	base := t.TempDir()
+	dirs := make([]string, numNodes)
+	for i := range dirs {
+		dirs[i] = filepath.Join(base, fmt.Sprintf("dn%d", i))
+	}
+	d, err := New(dirs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newTestDFS(t, 3, Config{Replication: 2, BlockSize: 64})
+	data := bytes.Repeat([]byte("0123456789"), 100) // 1000 bytes → 16 blocks
+	if err := d.WriteFile("graphs/input.bin", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadFile("graphs/input.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(data))
+	}
+	size, err := d.Stat("graphs/input.bin")
+	if err != nil || size != int64(len(data)) {
+		t.Fatalf("Stat = %d, %v", size, err)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	d := newTestDFS(t, 2, Config{})
+	if err := d.WriteFile("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadFile("empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty file read = %v, %v", got, err)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	d := newTestDFS(t, 2, Config{BlockSize: 8})
+	if err := d.WriteFile("f", []byte("first version")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteFile("f", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadFile("f")
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("read after overwrite = %q, %v", got, err)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	d := newTestDFS(t, 1, Config{})
+	if _, err := d.ReadFile("ghost"); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+	if _, err := d.Stat("ghost"); err == nil {
+		t.Fatal("missing file stat succeeded")
+	}
+	if err := d.Remove("ghost"); err == nil {
+		t.Fatal("missing file remove succeeded")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	d := newTestDFS(t, 2, Config{})
+	if err := d.WriteFile("f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadFile("f"); err == nil {
+		t.Fatal("removed file still readable")
+	}
+}
+
+func TestList(t *testing.T) {
+	d := newTestDFS(t, 2, Config{})
+	for _, n := range []string{"tiles/2", "tiles/0", "tiles/1", "deg/in"} {
+		if err := d.WriteFile(n, []byte(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := d.List("tiles/")
+	want := []string{"tiles/0", "tiles/1", "tiles/2"}
+	if len(got) != len(want) {
+		t.Fatalf("List = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+	}
+	if n := d.TotalStoredBytes(); n != int64(len("tiles/2")*3+len("deg/in")) {
+		t.Fatalf("TotalStoredBytes = %d", n)
+	}
+}
+
+func TestFailoverOnNodeDown(t *testing.T) {
+	d := newTestDFS(t, 3, Config{Replication: 2, BlockSize: 32})
+	data := bytes.Repeat([]byte("abcd"), 64)
+	if err := d.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	// Take each node down in turn; with replication 2 over 3 nodes, reads
+	// must always succeed with any single node down.
+	for n := 0; n < 3; n++ {
+		if err := d.SetNodeDown(n, true); err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.ReadFile("f")
+		if err != nil {
+			t.Fatalf("node %d down: %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("node %d down: corrupted read", n)
+		}
+		if err := d.SetNodeDown(n, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllReplicasDownFails(t *testing.T) {
+	d := newTestDFS(t, 2, Config{Replication: 2})
+	if err := d.WriteFile("f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	d.SetNodeDown(0, true)
+	d.SetNodeDown(1, true)
+	if _, err := d.ReadFile("f"); err == nil {
+		t.Fatal("read succeeded with every node down")
+	}
+}
+
+func TestWriteSkipsDownNodes(t *testing.T) {
+	d := newTestDFS(t, 3, Config{Replication: 2})
+	d.SetNodeDown(0, true)
+	if err := d.WriteFile("f", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 never stored anything, so taking the others down must break
+	// the file, proving the replicas went to nodes 1 and 2.
+	d.SetNodeDown(0, false)
+	d.SetNodeDown(1, true)
+	d.SetNodeDown(2, true)
+	if _, err := d.ReadFile("f"); err == nil {
+		t.Fatal("replica unexpectedly on the down node")
+	}
+}
+
+func TestWriteFailsWithNoLiveNodes(t *testing.T) {
+	d := newTestDFS(t, 1, Config{})
+	d.SetNodeDown(0, true)
+	if err := d.WriteFile("f", []byte("x")); err == nil {
+		t.Fatal("write succeeded with no live datanodes")
+	}
+}
+
+func TestChecksumFailover(t *testing.T) {
+	d := newTestDFS(t, 2, Config{Replication: 2, BlockSize: 1 << 20})
+	data := bytes.Repeat([]byte("block"), 1000)
+	if err := d.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CorruptReplica("f", 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadFile("f")
+	if err != nil {
+		t.Fatalf("read with one corrupt replica: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("corrupt replica leaked into read")
+	}
+	// Corrupt the second replica too: now the read must fail loudly.
+	if err := d.CorruptReplica("f", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadFile("f"); err == nil {
+		t.Fatal("read succeeded with all replicas corrupt")
+	}
+}
+
+func TestReplicationCappedAtNodeCount(t *testing.T) {
+	d := newTestDFS(t, 1, Config{Replication: 5})
+	if err := d.WriteFile("f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := d.ReadFile("f"); err != nil || string(got) != "x" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := newTestDFS(t, 3, Config{Replication: 2, BlockSize: 128})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("f%d", i)
+			payload := bytes.Repeat([]byte{byte(i)}, 500)
+			if err := d.WriteFile(name, payload); err != nil {
+				errs <- err
+				return
+			}
+			got, err := d.ReadFile(name)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, payload) {
+				errs <- fmt.Errorf("file %s corrupted", name)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRoundTripVariousSizes(t *testing.T) {
+	d := newTestDFS(t, 3, Config{Replication: 2, BlockSize: 64})
+	i := 0
+	prop := func(seed uint64, sizeRaw uint16) bool {
+		i++
+		rng := rand.New(rand.NewPCG(seed, 0))
+		data := make([]byte, int(sizeRaw)%2048)
+		for j := range data {
+			data[j] = byte(rng.Uint32())
+		}
+		name := fmt.Sprintf("prop/%d", i)
+		if err := d.WriteFile(name, data); err != nil {
+			return false
+		}
+		got, err := d.ReadFile(name)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

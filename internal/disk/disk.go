@@ -1,0 +1,226 @@
+// Package disk models the local secondary storage of a compute server.
+//
+// The paper's testbed stores tiles on 4×4 TB HDDs (RAID5) with roughly
+// 310 MB/s of sequential bandwidth shared by all workers of a server (§IV-B).
+// This package wraps real file I/O in a token-bucket style bandwidth
+// throttle and byte/op counters so that (a) out-of-core data movement incurs
+// a realistic, configurable cost even when the OS page cache would hide it,
+// and (b) experiments can report exact disk-traffic volumes. A zero-valued
+// Config disables throttling, leaving only accounting.
+package disk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config controls the disk model.
+type Config struct {
+	// ReadBandwidth and WriteBandwidth are in bytes per second; zero means
+	// unthrottled. All workers of a server share the same budget, as they
+	// share the RAID array in the paper's testbed.
+	ReadBandwidth  int64
+	WriteBandwidth int64
+}
+
+// Counters reports accumulated disk traffic.
+type Counters struct {
+	ReadBytes  int64
+	WriteBytes int64
+	ReadOps    int64
+	WriteOps   int64
+}
+
+// Store is a directory-backed, bandwidth-throttled blob store. It is safe
+// for concurrent use; concurrent operations serialize on the simulated
+// device the way requests queue on a real disk.
+type Store struct {
+	dir string
+	cfg Config
+
+	readBytes  atomic.Int64
+	writeBytes atomic.Int64
+	readOps    atomic.Int64
+	writeOps   atomic.Int64
+
+	// busyUntil implements the shared-bandwidth model: each transfer
+	// reserves a slot [busyUntil, busyUntil+duration) on the device and
+	// sleeps until its reservation completes.
+	mu        sync.Mutex
+	busyUntil time.Time
+
+	// failHook, when non-nil, is consulted before every operation; a
+	// non-nil return aborts the operation with that error. Tests use it to
+	// inject I/O failures.
+	failHook atomic.Value // func(op, name string) error
+}
+
+// NewStore creates a store rooted at dir, creating the directory if needed.
+func NewStore(dir string, cfg Config) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk: creating store dir: %w", err)
+	}
+	return &Store{dir: dir, cfg: cfg}, nil
+}
+
+// Dir returns the backing directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SetFailureHook installs (or clears, with nil) a failure-injection hook
+// called with ("read"|"write"|"remove", name) before each operation.
+func (s *Store) SetFailureHook(hook func(op, name string) error) {
+	if hook == nil {
+		s.failHook.Store((func(op, name string) error)(nil))
+		return
+	}
+	s.failHook.Store(hook)
+}
+
+func (s *Store) checkFail(op, name string) error {
+	if v := s.failHook.Load(); v != nil {
+		if hook, _ := v.(func(op, name string) error); hook != nil {
+			return hook(op, name)
+		}
+	}
+	return nil
+}
+
+// throttle blocks until the simulated device has transferred n bytes at the
+// given bandwidth. With bandwidth 0 it returns immediately.
+func (s *Store) throttle(n int, bandwidth int64) {
+	if bandwidth <= 0 || n == 0 {
+		return
+	}
+	d := time.Duration(float64(n) / float64(bandwidth) * float64(time.Second))
+	s.mu.Lock()
+	now := time.Now()
+	if s.busyUntil.Before(now) {
+		s.busyUntil = now
+	}
+	s.busyUntil = s.busyUntil.Add(d)
+	wakeAt := s.busyUntil
+	s.mu.Unlock()
+	time.Sleep(time.Until(wakeAt))
+}
+
+func (s *Store) path(name string) (string, error) {
+	if strings.Contains(name, "..") || strings.HasPrefix(name, "/") {
+		return "", fmt.Errorf("disk: invalid blob name %q", name)
+	}
+	return filepath.Join(s.dir, name), nil
+}
+
+// Write stores data under name, replacing any previous blob.
+func (s *Store) Write(name string, data []byte) error {
+	if err := s.checkFail("write", name); err != nil {
+		return err
+	}
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(p); dir != s.dir {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("disk: mkdir for %q: %w", name, err)
+		}
+	}
+	s.throttle(len(data), s.cfg.WriteBandwidth)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		return fmt.Errorf("disk: writing %q: %w", name, err)
+	}
+	s.writeBytes.Add(int64(len(data)))
+	s.writeOps.Add(1)
+	return nil
+}
+
+// Read returns the blob stored under name.
+func (s *Store) Read(name string) ([]byte, error) {
+	if err := s.checkFail("read", name); err != nil {
+		return nil, err
+	}
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, fmt.Errorf("disk: reading %q: %w", name, err)
+	}
+	s.throttle(len(data), s.cfg.ReadBandwidth)
+	s.readBytes.Add(int64(len(data)))
+	s.readOps.Add(1)
+	return data, nil
+}
+
+// Remove deletes the named blob. Removing a missing blob is an error.
+func (s *Store) Remove(name string) error {
+	if err := s.checkFail("remove", name); err != nil {
+		return err
+	}
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil {
+		return fmt.Errorf("disk: removing %q: %w", name, err)
+	}
+	return nil
+}
+
+// Exists reports whether a blob is present.
+func (s *Store) Exists(name string) bool {
+	p, err := s.path(name)
+	if err != nil {
+		return false
+	}
+	_, statErr := os.Stat(p)
+	return statErr == nil
+}
+
+// List returns the names of all blobs with the given prefix, sorted.
+func (s *Store) List(prefix string) ([]string, error) {
+	var names []string
+	err := filepath.Walk(s.dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(s.dir, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if strings.HasPrefix(rel, prefix) {
+			names = append(names, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("disk: listing %q: %w", prefix, err)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Counters returns a snapshot of accumulated traffic.
+func (s *Store) Counters() Counters {
+	return Counters{
+		ReadBytes:  s.readBytes.Load(),
+		WriteBytes: s.writeBytes.Load(),
+		ReadOps:    s.readOps.Load(),
+		WriteOps:   s.writeOps.Load(),
+	}
+}
+
+// ResetCounters zeroes the traffic counters (e.g. between supersteps).
+func (s *Store) ResetCounters() {
+	s.readBytes.Store(0)
+	s.writeBytes.Store(0)
+	s.readOps.Store(0)
+	s.writeOps.Store(0)
+}

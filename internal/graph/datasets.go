@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// Dataset describes one of the paper's benchmark graphs (Table I) together
+// with the scaled-down synthetic analogue this reproduction generates for it.
+// The analogue preserves the average degree (|E|/|V|) and the power-law skew
+// of the original; only the absolute scale shrinks so that the full
+// experiment suite runs on a single machine.
+type Dataset struct {
+	// Name of the simulated dataset, e.g. "uk2007-sim".
+	Name string
+	// PaperName of the original graph, e.g. "UK-2007".
+	PaperName string
+	// PaperVertices and PaperEdges are the original sizes from Table I.
+	PaperVertices uint64
+	PaperEdges    uint64
+	// SimVertices and SimEdges are the generated sizes at scale 1.0.
+	SimVertices uint32
+	SimEdges    int
+	// Seed makes generation deterministic per dataset.
+	Seed uint64
+}
+
+// BenchmarkDatasets lists the four Table I graphs in paper order. Sim sizes
+// keep each graph's |E|/|V| ratio: 35.7, 41.0, 60.4 and 85.7 edges/vertex.
+var BenchmarkDatasets = []Dataset{
+	{
+		Name: "twitter-sim", PaperName: "Twitter-2010",
+		PaperVertices: 42_000_000, PaperEdges: 1_500_000_000,
+		SimVertices: 42_000, SimEdges: 1_500_000, Seed: 42,
+	},
+	{
+		Name: "uk2007-sim", PaperName: "UK-2007",
+		PaperVertices: 134_000_000, PaperEdges: 5_500_000_000,
+		SimVertices: 67_000, SimEdges: 2_750_000, Seed: 2007,
+	},
+	{
+		Name: "uk2014-sim", PaperName: "UK-2014",
+		PaperVertices: 788_000_000, PaperEdges: 47_600_000_000,
+		SimVertices: 98_500, SimEdges: 5_950_000, Seed: 2014,
+	},
+	{
+		Name: "eu2015-sim", PaperName: "EU-2015",
+		PaperVertices: 1_100_000_000, PaperEdges: 91_800_000_000,
+		SimVertices: 110_000, SimEdges: 9_180_000, Seed: 2015,
+	},
+}
+
+// DatasetByName returns the benchmark dataset definition with the given
+// simulated name.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range BenchmarkDatasets {
+		if d.Name == name || d.PaperName == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("graph: unknown dataset %q", name)
+}
+
+// ScaleEnv is the environment variable that scales every generated benchmark
+// dataset. 1.0 is the default laptop-sized configuration; larger values grow
+// |V| and |E| proportionally.
+const ScaleEnv = "GRAPHH_SCALE"
+
+// ScaleFromEnv returns the dataset scale factor from GRAPHH_SCALE, or 1.
+func ScaleFromEnv() float64 {
+	s := os.Getenv(ScaleEnv)
+	if s == "" {
+		return 1
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f <= 0 {
+		return 1
+	}
+	return f
+}
+
+// Generate materializes the dataset's synthetic analogue at the given scale
+// (1.0 = the sizes in the Dataset definition).
+func (d Dataset) Generate(scale float64) *EdgeList {
+	nv := uint32(float64(d.SimVertices) * scale)
+	if nv < 16 {
+		nv = 16
+	}
+	ne := int(float64(d.SimEdges) * scale)
+	if ne < 16 {
+		ne = 16
+	}
+	el := GenerateRMAT(DefaultRMAT(), nv, ne, d.Seed)
+	el.Name = d.Name
+	return el
+}

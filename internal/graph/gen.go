@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"math/rand/v2"
+)
+
+// RMATParams configures the recursive-matrix (R-MAT) generator. R-MAT
+// reproduces the power-law degree distributions of the paper's web and
+// social benchmark graphs (§III-B-3 notes that "the power-law distribution
+// of vertex degrees can be observed in most real-world graphs").
+type RMATParams struct {
+	// A, B, C are the recursive quadrant probabilities; D = 1-A-B-C.
+	// The classic skewed setting is A=0.57, B=0.19, C=0.19.
+	A, B, C float64
+	// Noise perturbs the quadrant probabilities per recursion level to avoid
+	// the artificial staircase degree distribution of pure R-MAT.
+	Noise float64
+}
+
+// DefaultRMAT is the conventional Graph500-style parameterization.
+func DefaultRMAT() RMATParams {
+	return RMATParams{A: 0.57, B: 0.19, C: 0.19, Noise: 0.1}
+}
+
+// GenerateRMAT generates numEdges directed edges over numVertices vertices
+// using the R-MAT process with the given seed. The output is deterministic
+// for a given (params, numVertices, numEdges, seed) tuple. Duplicate edges
+// and self-loops are retained, as in real crawled graphs.
+func GenerateRMAT(p RMATParams, numVertices uint32, numEdges int, seed uint64) *EdgeList {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	levels := 0
+	for (uint32(1) << levels) < numVertices {
+		levels++
+	}
+	el := &EdgeList{
+		NumVertices: numVertices,
+		Edges:       make([]Edge, 0, numEdges),
+	}
+	for len(el.Edges) < numEdges {
+		src, dst := rmatEdge(rng, p, levels)
+		if src >= numVertices || dst >= numVertices {
+			continue // rejected: outside the non-power-of-two vertex range
+		}
+		el.Edges = append(el.Edges, Edge{Src: src, Dst: dst, W: 1})
+	}
+	return el
+}
+
+func rmatEdge(rng *rand.Rand, p RMATParams, levels int) (src, dst uint32) {
+	a, b, c := p.A, p.B, p.C
+	for i := 0; i < levels; i++ {
+		// Perturb probabilities per level, renormalizing so they still sum
+		// to one. This is the standard smoothing from the R-MAT literature.
+		na := a * (1 - p.Noise/2 + p.Noise*rng.Float64())
+		nb := b * (1 - p.Noise/2 + p.Noise*rng.Float64())
+		nc := c * (1 - p.Noise/2 + p.Noise*rng.Float64())
+		nd := (1 - a - b - c) * (1 - p.Noise/2 + p.Noise*rng.Float64())
+		sum := na + nb + nc + nd
+		na, nb, nc = na/sum, nb/sum, nc/sum
+
+		r := rng.Float64()
+		src <<= 1
+		dst <<= 1
+		switch {
+		case r < na:
+			// top-left: neither bit set
+		case r < na+nb:
+			dst |= 1
+		case r < na+nb+nc:
+			src |= 1
+		default:
+			src |= 1
+			dst |= 1
+		}
+	}
+	return src, dst
+}
+
+// GenerateUniform generates numEdges directed edges with independently
+// uniform endpoints — the "random graph" of the paper's On-Demand replication
+// analysis (§IV-A, Eq. 4). Self-loops are excluded and duplicates retained.
+func GenerateUniform(numVertices uint32, numEdges int, seed uint64) *EdgeList {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	el := &EdgeList{
+		NumVertices: numVertices,
+		Edges:       make([]Edge, 0, numEdges),
+	}
+	for len(el.Edges) < numEdges {
+		src := rng.Uint32N(numVertices)
+		dst := rng.Uint32N(numVertices)
+		if src == dst {
+			continue
+		}
+		el.Edges = append(el.Edges, Edge{Src: src, Dst: dst, W: 1})
+	}
+	return el
+}
+
+// GenerateChain returns the path graph 0→1→…→n-1, a deterministic worst case
+// for synchronous SSSP/BFS convergence (n-1 supersteps).
+func GenerateChain(n uint32) *EdgeList {
+	el := &EdgeList{NumVertices: n, Edges: make([]Edge, 0, int(n)-1), Name: "chain"}
+	for v := uint32(0); v+1 < n; v++ {
+		el.Edges = append(el.Edges, Edge{Src: v, Dst: v + 1, W: 1})
+	}
+	return el
+}
+
+// GenerateCycle returns the directed cycle over n vertices.
+func GenerateCycle(n uint32) *EdgeList {
+	el := &EdgeList{NumVertices: n, Edges: make([]Edge, 0, int(n)), Name: "cycle"}
+	for v := uint32(0); v < n; v++ {
+		el.Edges = append(el.Edges, Edge{Src: v, Dst: (v + 1) % n, W: 1})
+	}
+	return el
+}
+
+// GenerateStar returns a star with vertex 0 pointing at every other vertex —
+// the extreme skew case for partition balance (one source, n-1 targets).
+func GenerateStar(n uint32) *EdgeList {
+	el := &EdgeList{NumVertices: n, Edges: make([]Edge, 0, int(n)-1), Name: "star"}
+	for v := uint32(1); v < n; v++ {
+		el.Edges = append(el.Edges, Edge{Src: 0, Dst: v, W: 1})
+	}
+	return el
+}
+
+// GenerateGrid returns a rows×cols grid with right and down edges, a useful
+// bounded-degree planar workload (road-network analogue) for SSSP examples.
+func GenerateGrid(rows, cols uint32) *EdgeList {
+	n := rows * cols
+	el := &EdgeList{NumVertices: n, Edges: make([]Edge, 0, 2*int(n)), Name: "grid"}
+	for r := uint32(0); r < rows; r++ {
+		for c := uint32(0); c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols {
+				el.Edges = append(el.Edges, Edge{Src: v, Dst: v + 1, W: 1})
+			}
+			if r+1 < rows {
+				el.Edges = append(el.Edges, Edge{Src: v, Dst: v + cols, W: 1})
+			}
+		}
+	}
+	return el
+}
+
+// AttachWeights returns a copy of el with deterministic pseudo-random edge
+// weights in (0, maxW], derived from a hash of the endpoints so that the
+// weighting is stable across runs and independent of edge order.
+func AttachWeights(el *EdgeList, maxW float32, seed uint64) *EdgeList {
+	out := el.Clone()
+	out.Weighted = true
+	out.Name = el.Name + "-w"
+	for i := range out.Edges {
+		e := &out.Edges[i]
+		h := edgeHash(e.Src, e.Dst, seed)
+		// Map to (0, maxW]: never zero, so shortest paths stay well defined.
+		e.W = float32(h%1000+1) / 1000 * maxW
+	}
+	return out
+}
+
+func edgeHash(src, dst VertexID, seed uint64) uint64 {
+	x := uint64(src)<<32 | uint64(dst)
+	x ^= seed
+	// SplitMix64 finalizer.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

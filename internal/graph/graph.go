@@ -1,0 +1,228 @@
+// Package graph provides the basic graph substrate for GraphH: vertex and
+// edge types, edge lists with degree accounting, deterministic synthetic
+// graph generators modelled on the paper's benchmark datasets, text and
+// binary edge-list I/O, and sequential reference implementations of the
+// evaluated algorithms (PageRank, SSSP, WCC, BFS) used as test oracles.
+//
+// All graphs are directed, matching §II-A of the paper. Vertex identifiers
+// are dense uint32 values in [0, NumVertices).
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// VertexID identifies a vertex. IDs are dense: a graph with n vertices uses
+// exactly the IDs 0..n-1.
+type VertexID = uint32
+
+// Edge is a directed edge (Src, Dst) with weight W. Unweighted graphs carry
+// W == 1 on every edge and set EdgeList.Weighted to false so downstream
+// storage (CSR tiles) can omit the value array, as in §III-B-2.
+type Edge struct {
+	Src VertexID
+	Dst VertexID
+	W   float32
+}
+
+// EdgeList is the raw input representation of a graph: an unordered multiset
+// of directed edges. It is the interchange format between generators, text
+// loaders, the pre-processing engine and the baseline systems.
+type EdgeList struct {
+	// NumVertices is |V|. All edge endpoints are < NumVertices.
+	NumVertices uint32
+	// Edges holds |E| directed edges in arbitrary order.
+	Edges []Edge
+	// Weighted records whether edge weights are meaningful. When false all
+	// weights are exactly 1.
+	Weighted bool
+	// Name labels the dataset in experiment output (e.g. "uk2007-sim").
+	Name string
+}
+
+// NumEdges returns |E|.
+func (el *EdgeList) NumEdges() int { return len(el.Edges) }
+
+// Validate checks the structural invariants of the edge list: every endpoint
+// is in range and, for unweighted graphs, every weight is 1.
+func (el *EdgeList) Validate() error {
+	n := el.NumVertices
+	for i, e := range el.Edges {
+		if e.Src >= n || e.Dst >= n {
+			return fmt.Errorf("graph: edge %d (%d->%d) out of range [0,%d)", i, e.Src, e.Dst, n)
+		}
+		if !el.Weighted && e.W != 1 {
+			return fmt.Errorf("graph: edge %d (%d->%d) has weight %g in unweighted graph", i, e.Src, e.Dst, e.W)
+		}
+		if math.IsNaN(float64(e.W)) || e.W < 0 {
+			return fmt.Errorf("graph: edge %d (%d->%d) has invalid weight %g", i, e.Src, e.Dst, e.W)
+		}
+	}
+	return nil
+}
+
+// Degrees computes the in-degree and out-degree arrays in a single pass.
+// These are the two arrays SPE persists alongside tiles (§III-B-1).
+func (el *EdgeList) Degrees() (in, out []uint32) {
+	in = make([]uint32, el.NumVertices)
+	out = make([]uint32, el.NumVertices)
+	for _, e := range el.Edges {
+		out[e.Src]++
+		in[e.Dst]++
+	}
+	return in, out
+}
+
+// Stats summarizes a dataset the way Table I of the paper does.
+type Stats struct {
+	Name        string
+	NumVertices uint32
+	NumEdges    int
+	AvgDegree   float64
+	MaxInDeg    uint32
+	MaxOutDeg   uint32
+	CSVBytes    int64 // size of the textual edge-list representation
+}
+
+// ComputeStats derives Table I-style statistics for the edge list. CSVBytes
+// is computed exactly (the byte length CSVSize would produce) without
+// materializing the text.
+func (el *EdgeList) ComputeStats() Stats {
+	in, out := el.Degrees()
+	var maxIn, maxOut uint32
+	for _, d := range in {
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	for _, d := range out {
+		if d > maxOut {
+			maxOut = d
+		}
+	}
+	s := Stats{
+		Name:        el.Name,
+		NumVertices: el.NumVertices,
+		NumEdges:    el.NumEdges(),
+		MaxInDeg:    maxIn,
+		MaxOutDeg:   maxOut,
+		CSVBytes:    el.CSVSize(),
+	}
+	if el.NumVertices > 0 {
+		s.AvgDegree = float64(s.NumEdges) / float64(s.NumVertices)
+	}
+	return s
+}
+
+// CSVSize returns the exact size in bytes of the edge list rendered as
+// "src<TAB>dst\n" (or "src<TAB>dst<TAB>weight\n" when weighted) lines,
+// the raw-input size reported in Tables I and IV.
+func (el *EdgeList) CSVSize() int64 {
+	var total int64
+	for _, e := range el.Edges {
+		total += int64(decimalLen(e.Src)) + 1 + int64(decimalLen(e.Dst)) + 1
+		if el.Weighted {
+			// Weights render via strconv with 'g'; approximate with a fixed
+			// upper bound only when weighted, which the sim datasets are not.
+			total += int64(len(fmt.Sprintf("%g", e.W))) + 1
+		}
+	}
+	return total
+}
+
+func decimalLen(v uint32) int {
+	n := 1
+	for v >= 10 {
+		v /= 10
+		n++
+	}
+	return n
+}
+
+// Symmetrize returns a new edge list that contains, for every edge (u,v),
+// both (u,v) and (v,u). Weakly-connected-components programs require a
+// symmetric graph because GAB gathers along in-edges only (§III-C).
+// Self-loops are kept once.
+func (el *EdgeList) Symmetrize() *EdgeList {
+	out := &EdgeList{
+		NumVertices: el.NumVertices,
+		Edges:       make([]Edge, 0, 2*len(el.Edges)),
+		Weighted:    el.Weighted,
+		Name:        el.Name + "-sym",
+	}
+	for _, e := range el.Edges {
+		out.Edges = append(out.Edges, e)
+		if e.Src != e.Dst {
+			out.Edges = append(out.Edges, Edge{Src: e.Dst, Dst: e.Src, W: e.W})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the edge list.
+func (el *EdgeList) Clone() *EdgeList {
+	cp := *el
+	cp.Edges = make([]Edge, len(el.Edges))
+	copy(cp.Edges, el.Edges)
+	return &cp
+}
+
+// Adjacency is a compact in-memory CSR adjacency used by the reference
+// algorithms and the in-memory baseline engines. Out holds, for each vertex,
+// the offsets of its outgoing edges.
+type Adjacency struct {
+	NumVertices uint32
+	// OutIndex[v]..OutIndex[v+1] delimit v's slice of OutDst/OutW.
+	OutIndex []uint32
+	OutDst   []VertexID
+	OutW     []float32 // nil for unweighted graphs
+}
+
+// BuildOutAdjacency builds the outgoing-edge CSR adjacency via counting sort;
+// it is deterministic and O(|V|+|E|).
+func BuildOutAdjacency(el *EdgeList) *Adjacency {
+	n := el.NumVertices
+	adj := &Adjacency{NumVertices: n, OutIndex: make([]uint32, n+1)}
+	for _, e := range el.Edges {
+		adj.OutIndex[e.Src+1]++
+	}
+	for v := uint32(0); v < n; v++ {
+		adj.OutIndex[v+1] += adj.OutIndex[v]
+	}
+	adj.OutDst = make([]VertexID, len(el.Edges))
+	if el.Weighted {
+		adj.OutW = make([]float32, len(el.Edges))
+	}
+	cursor := make([]uint32, n)
+	copy(cursor, adj.OutIndex[:n])
+	for _, e := range el.Edges {
+		p := cursor[e.Src]
+		cursor[e.Src]++
+		adj.OutDst[p] = e.Dst
+		if adj.OutW != nil {
+			adj.OutW[p] = e.W
+		}
+	}
+	return adj
+}
+
+// OutNeighbors returns the destinations of v's out-edges. The returned slice
+// aliases the adjacency's internal storage and must not be modified.
+func (a *Adjacency) OutNeighbors(v VertexID) []VertexID {
+	return a.OutDst[a.OutIndex[v]:a.OutIndex[v+1]]
+}
+
+// OutWeights returns the weights of v's out-edges, parallel to OutNeighbors.
+// It returns nil for unweighted graphs.
+func (a *Adjacency) OutWeights(v VertexID) []float32 {
+	if a.OutW == nil {
+		return nil
+	}
+	return a.OutW[a.OutIndex[v]:a.OutIndex[v+1]]
+}
+
+// OutDegree returns |Γout(v)|.
+func (a *Adjacency) OutDegree(v VertexID) uint32 {
+	return a.OutIndex[v+1] - a.OutIndex[v]
+}

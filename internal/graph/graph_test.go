@@ -1,0 +1,461 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDegrees(t *testing.T) {
+	el := &EdgeList{
+		NumVertices: 4,
+		Edges: []Edge{
+			{Src: 0, Dst: 1, W: 1},
+			{Src: 0, Dst: 2, W: 1},
+			{Src: 1, Dst: 2, W: 1},
+			{Src: 3, Dst: 0, W: 1},
+		},
+	}
+	in, out := el.Degrees()
+	wantIn := []uint32{1, 1, 2, 0}
+	wantOut := []uint32{2, 1, 0, 1}
+	for v := range wantIn {
+		if in[v] != wantIn[v] {
+			t.Errorf("in[%d] = %d, want %d", v, in[v], wantIn[v])
+		}
+		if out[v] != wantOut[v] {
+			t.Errorf("out[%d] = %d, want %d", v, out[v], wantOut[v])
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := GenerateUniform(10, 20, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	bad := &EdgeList{NumVertices: 2, Edges: []Edge{{Src: 0, Dst: 5, W: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	badW := &EdgeList{NumVertices: 2, Edges: []Edge{{Src: 0, Dst: 1, W: 3}}}
+	if err := badW.Validate(); err == nil {
+		t.Fatal("non-unit weight accepted in unweighted graph")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	el := GenerateStar(11)
+	s := el.ComputeStats()
+	if s.NumEdges != 10 || s.MaxOutDeg != 10 || s.MaxInDeg != 1 {
+		t.Fatalf("star stats wrong: %+v", s)
+	}
+	if got, want := s.AvgDegree, 10.0/11.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("avg degree = %g, want %g", got, want)
+	}
+}
+
+func TestCSVSizeMatchesWriter(t *testing.T) {
+	el := GenerateRMAT(DefaultRMAT(), 100, 500, 7)
+	var buf bytes.Buffer
+	if err := el.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != el.CSVSize() {
+		t.Fatalf("CSVSize = %d, actual rendered size = %d", el.CSVSize(), buf.Len())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	el := GenerateRMAT(DefaultRMAT(), 64, 200, 3)
+	var buf bytes.Buffer
+	if err := el.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != el.NumEdges() {
+		t.Fatalf("edge count %d != %d", got.NumEdges(), el.NumEdges())
+	}
+	for i := range el.Edges {
+		if got.Edges[i].Src != el.Edges[i].Src || got.Edges[i].Dst != el.Edges[i].Dst {
+			t.Fatalf("edge %d mismatch: %v vs %v", i, got.Edges[i], el.Edges[i])
+		}
+	}
+}
+
+func TestCSVComments(t *testing.T) {
+	in := "# comment\n% another\n0\t1\n\n2 3\n"
+	el, err := ReadCSV(bytes.NewReader([]byte(in)), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.NumEdges() != 2 || el.NumVertices != 4 {
+		t.Fatalf("got %d edges, %d vertices", el.NumEdges(), el.NumVertices)
+	}
+}
+
+func TestCSVWeighted(t *testing.T) {
+	in := "0\t1\t2.5\n1\t2\t0.25\n"
+	el, err := ReadCSV(bytes.NewReader([]byte(in)), "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !el.Weighted {
+		t.Fatal("weighted flag not set")
+	}
+	if el.Edges[0].W != 2.5 || el.Edges[1].W != 0.25 {
+		t.Fatalf("weights wrong: %+v", el.Edges)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		el := GenerateRMAT(DefaultRMAT(), 128, 400, 11)
+		if weighted {
+			el = AttachWeights(el, 10, 5)
+		}
+		var buf bytes.Buffer
+		if err := el.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf, el.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumVertices != el.NumVertices || got.Weighted != el.Weighted {
+			t.Fatalf("header mismatch: %+v", got)
+		}
+		for i := range el.Edges {
+			if got.Edges[i] != el.Edges[i] {
+				t.Fatalf("weighted=%v edge %d: %v != %v", weighted, i, got.Edges[i], el.Edges[i])
+			}
+		}
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a graph file!!")), "x"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestGenerateRMATDeterministic(t *testing.T) {
+	a := GenerateRMAT(DefaultRMAT(), 1024, 5000, 99)
+	b := GenerateRMAT(DefaultRMAT(), 1024, 5000, 99)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateRMATSkew(t *testing.T) {
+	el := GenerateRMAT(DefaultRMAT(), 1<<12, 1<<16, 1)
+	s := el.ComputeStats()
+	// Power-law skew: the max in-degree should be far above the average.
+	if float64(s.MaxInDeg) < 5*s.AvgDegree {
+		t.Fatalf("R-MAT not skewed: max in-degree %d vs avg %g", s.MaxInDeg, s.AvgDegree)
+	}
+	if err := el.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateUniformNoSelfLoops(t *testing.T) {
+	el := GenerateUniform(100, 2000, 4)
+	for _, e := range el.Edges {
+		if e.Src == e.Dst {
+			t.Fatalf("self loop %d->%d", e.Src, e.Dst)
+		}
+	}
+}
+
+func TestStructuredGenerators(t *testing.T) {
+	if got := GenerateChain(5).NumEdges(); got != 4 {
+		t.Errorf("chain(5) edges = %d, want 4", got)
+	}
+	if got := GenerateCycle(5).NumEdges(); got != 5 {
+		t.Errorf("cycle(5) edges = %d, want 5", got)
+	}
+	if got := GenerateStar(5).NumEdges(); got != 4 {
+		t.Errorf("star(5) edges = %d, want 4", got)
+	}
+	grid := GenerateGrid(3, 4)
+	// 3 rows × 3 right-edges + 2 rows × 4 down-edges = 9 + 8.
+	if got := grid.NumEdges(); got != 17 {
+		t.Errorf("grid(3,4) edges = %d, want 17", got)
+	}
+	for _, el := range []*EdgeList{GenerateChain(5), GenerateCycle(5), GenerateStar(5), grid} {
+		if err := el.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", el.Name, err)
+		}
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	el := GenerateChain(4)
+	sym := el.Symmetrize()
+	if sym.NumEdges() != 6 {
+		t.Fatalf("symmetrized chain(4) has %d edges, want 6", sym.NumEdges())
+	}
+	in, out := sym.Degrees()
+	for v := range in {
+		if in[v] != out[v] {
+			t.Fatalf("vertex %d: in %d != out %d after symmetrize", v, in[v], out[v])
+		}
+	}
+}
+
+func TestAttachWeightsDeterministicAndPositive(t *testing.T) {
+	el := GenerateUniform(50, 300, 8)
+	w1 := AttachWeights(el, 4, 123)
+	w2 := AttachWeights(el, 4, 123)
+	for i := range w1.Edges {
+		if w1.Edges[i].W != w2.Edges[i].W {
+			t.Fatal("weights not deterministic")
+		}
+		if w1.Edges[i].W <= 0 || w1.Edges[i].W > 4 {
+			t.Fatalf("weight %g out of (0,4]", w1.Edges[i].W)
+		}
+	}
+	if err := w1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildOutAdjacency(t *testing.T) {
+	el := GenerateRMAT(DefaultRMAT(), 256, 2000, 17)
+	adj := BuildOutAdjacency(el)
+	_, out := el.Degrees()
+	var total uint32
+	for v := uint32(0); v < el.NumVertices; v++ {
+		if adj.OutDegree(v) != out[v] {
+			t.Fatalf("vertex %d out-degree %d != %d", v, adj.OutDegree(v), out[v])
+		}
+		total += adj.OutDegree(v)
+	}
+	if int(total) != el.NumEdges() {
+		t.Fatalf("adjacency has %d edges, want %d", total, el.NumEdges())
+	}
+	// Every edge must be present.
+	seen := make(map[Edge]int)
+	for _, e := range el.Edges {
+		seen[Edge{Src: e.Src, Dst: e.Dst, W: 0}]++
+	}
+	for v := uint32(0); v < el.NumVertices; v++ {
+		for _, u := range adj.OutNeighbors(v) {
+			seen[Edge{Src: v, Dst: u, W: 0}]--
+		}
+	}
+	for e, c := range seen {
+		if c != 0 {
+			t.Fatalf("edge %v count mismatch %d", e, c)
+		}
+	}
+}
+
+func TestAdjacencyWeights(t *testing.T) {
+	el := AttachWeights(GenerateUniform(32, 100, 2), 5, 9)
+	adj := BuildOutAdjacency(el)
+	want := make(map[[2]uint32]float32)
+	for _, e := range el.Edges {
+		want[[2]uint32{e.Src, e.Dst}] = e.W
+	}
+	for v := uint32(0); v < el.NumVertices; v++ {
+		nbrs := adj.OutNeighbors(v)
+		ws := adj.OutWeights(v)
+		for i := range nbrs {
+			if w, ok := want[[2]uint32{v, nbrs[i]}]; ok && w != ws[i] {
+				t.Fatalf("edge %d->%d weight %g, want %g", v, nbrs[i], ws[i], w)
+			}
+		}
+	}
+}
+
+func TestRefPageRankSumsNearOne(t *testing.T) {
+	// On a graph with no dangling vertices, total rank mass is conserved at 1.
+	el := GenerateCycle(100)
+	rank := RefPageRank(el, 30)
+	var sum float64
+	for _, r := range rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("rank sum = %g, want 1", sum)
+	}
+	// All vertices symmetric on a cycle: identical ranks.
+	for v := 1; v < len(rank); v++ {
+		if math.Abs(rank[v]-rank[0]) > 1e-12 {
+			t.Fatalf("cycle ranks differ: rank[%d]=%g rank[0]=%g", v, rank[v], rank[0])
+		}
+	}
+}
+
+func TestRefSSSPChain(t *testing.T) {
+	el := GenerateChain(10)
+	dist := RefSSSP(el, 0)
+	for v := 0; v < 10; v++ {
+		if dist[v] != float64(v) {
+			t.Fatalf("dist[%d] = %g, want %d", v, dist[v], v)
+		}
+	}
+	// From the middle, predecessors are unreachable.
+	dist = RefSSSP(el, 5)
+	if !math.IsInf(dist[0], 1) || dist[9] != 4 {
+		t.Fatalf("dist from 5: %v", dist)
+	}
+}
+
+func TestRefSSSPMatchesBFSOnUnweighted(t *testing.T) {
+	el := GenerateRMAT(DefaultRMAT(), 512, 4096, 23)
+	d1 := RefSSSP(el, 0)
+	d2 := RefBFS(el, 0)
+	for v := range d1 {
+		if d1[v] != d2[v] {
+			t.Fatalf("vertex %d: sssp %g != bfs %g", v, d1[v], d2[v])
+		}
+	}
+}
+
+func TestRefWCC(t *testing.T) {
+	// Two components: {0,1,2} and {3,4}.
+	el := &EdgeList{NumVertices: 5, Edges: []Edge{
+		{Src: 0, Dst: 1, W: 1}, {Src: 2, Dst: 1, W: 1}, {Src: 4, Dst: 3, W: 1},
+	}}
+	labels := RefWCC(el)
+	want := []uint32{0, 0, 0, 3, 3}
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestRefWCCSingletons(t *testing.T) {
+	el := &EdgeList{NumVertices: 3}
+	labels := RefWCC(el)
+	for v := range labels {
+		if labels[v] != uint32(v) {
+			t.Fatalf("isolated vertex %d labelled %d", v, labels[v])
+		}
+	}
+}
+
+// quickEdgeList builds a small random edge list from raw fuzz input.
+func quickEdgeList(rng *rand.Rand, maxV uint32, maxE int) *EdgeList {
+	nv := rng.Uint32N(maxV-1) + 1
+	ne := rng.IntN(maxE)
+	el := &EdgeList{NumVertices: nv, Edges: make([]Edge, ne)}
+	for i := range el.Edges {
+		el.Edges[i] = Edge{Src: rng.Uint32N(nv), Dst: rng.Uint32N(nv), W: 1}
+	}
+	return el
+}
+
+func TestPropertyBinaryRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		el := quickEdgeList(rng, 200, 500)
+		var buf bytes.Buffer
+		if err := el.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf, "q")
+		if err != nil || got.NumVertices != el.NumVertices || len(got.Edges) != len(el.Edges) {
+			return false
+		}
+		for i := range el.Edges {
+			if got.Edges[i] != el.Edges[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDegreeSumsEqualEdges(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		el := quickEdgeList(rng, 300, 1000)
+		in, out := el.Degrees()
+		var sumIn, sumOut int
+		for v := range in {
+			sumIn += int(in[v])
+			sumOut += int(out[v])
+		}
+		return sumIn == el.NumEdges() && sumOut == el.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyWCCLabelIsComponentMin(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		el := quickEdgeList(rng, 64, 128)
+		labels := RefWCC(el)
+		// The label of v must be ≤ v and share v's label (it is in the same
+		// component by construction of union-find).
+		for v, l := range labels {
+			if l > uint32(v) || labels[l] != l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	if len(BenchmarkDatasets) != 4 {
+		t.Fatalf("want the 4 Table I datasets, got %d", len(BenchmarkDatasets))
+	}
+	for _, d := range BenchmarkDatasets {
+		got, err := DatasetByName(d.Name)
+		if err != nil || got.Name != d.Name {
+			t.Fatalf("DatasetByName(%q): %v", d.Name, err)
+		}
+		el := d.Generate(0.01)
+		if err := el.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		// Average degree should be in the ballpark of the paper's.
+		paperAvg := float64(d.PaperEdges) / float64(d.PaperVertices)
+		simAvg := float64(el.NumEdges()) / float64(el.NumVertices)
+		if simAvg < paperAvg/2 || simAvg > paperAvg*2 {
+			t.Errorf("%s: sim avg degree %g too far from paper %g", d.Name, simAvg, paperAvg)
+		}
+	}
+	if _, err := DatasetByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestScaleFromEnv(t *testing.T) {
+	t.Setenv(ScaleEnv, "")
+	if ScaleFromEnv() != 1 {
+		t.Fatal("empty scale should be 1")
+	}
+	t.Setenv(ScaleEnv, "0.5")
+	if ScaleFromEnv() != 0.5 {
+		t.Fatal("scale 0.5 not parsed")
+	}
+	t.Setenv(ScaleEnv, "bogus")
+	if ScaleFromEnv() != 1 {
+		t.Fatal("bogus scale should fall back to 1")
+	}
+}

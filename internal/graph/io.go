@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV renders the edge list as tab-separated "src dst [weight]" lines,
+// the raw input format whose on-disk size Table I and Table IV report.
+func (el *EdgeList) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var buf []byte
+	for _, e := range el.Edges {
+		buf = buf[:0]
+		buf = strconv.AppendUint(buf, uint64(e.Src), 10)
+		buf = append(buf, '\t')
+		buf = strconv.AppendUint(buf, uint64(e.Dst), 10)
+		if el.Weighted {
+			buf = append(buf, '\t')
+			buf = strconv.AppendFloat(buf, float64(e.W), 'g', -1, 32)
+		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a tab- or space-separated edge list. Lines beginning with
+// '#' or '%' are comments. A third numeric column, when present, is the edge
+// weight and marks the graph weighted. NumVertices is max(endpoint)+1.
+func ReadCSV(r io.Reader, name string) (*EdgeList, error) {
+	el := &EdgeList{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNum := 0
+	var maxID uint32
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %d", lineNum, len(fields))
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source id: %w", lineNum, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target id: %w", lineNum, err)
+		}
+		w := float32(1)
+		if len(fields) >= 3 {
+			wf, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %w", lineNum, err)
+			}
+			w = float32(wf)
+			el.Weighted = true
+		}
+		e := Edge{Src: uint32(src), Dst: uint32(dst), W: w}
+		el.Edges = append(el.Edges, e)
+		if e.Src > maxID {
+			maxID = e.Src
+		}
+		if e.Dst > maxID {
+			maxID = e.Dst
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(el.Edges) > 0 {
+		el.NumVertices = maxID + 1
+	}
+	return el, nil
+}
+
+// binaryMagic identifies the binary edge-list format.
+const binaryMagic = uint32(0x47484531) // "GHE1"
+
+// WriteBinary writes the edge list in a compact little-endian binary format:
+// header (magic, numVertices, numEdges, weighted flag) followed by fixed-size
+// edge records. It is the persisted raw-graph format of the DFS substrate.
+func (el *EdgeList) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], binaryMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], el.NumVertices)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(el.Edges)))
+	if el.Weighted {
+		hdr[12] = 1
+	}
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [12]byte
+	for _, e := range el.Edges {
+		binary.LittleEndian.PutUint32(rec[0:], e.Src)
+		binary.LittleEndian.PutUint32(rec[4:], e.Dst)
+		n := 8
+		if el.Weighted {
+			binary.LittleEndian.PutUint32(rec[8:], floatBits(e.W))
+			n = 12
+		}
+		if _, err := bw.Write(rec[:n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the format produced by WriteBinary.
+func ReadBinary(r io.Reader, name string) (*EdgeList, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading binary header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x (want %#x)", got, binaryMagic)
+	}
+	el := &EdgeList{
+		NumVertices: binary.LittleEndian.Uint32(hdr[4:]),
+		Weighted:    hdr[12] == 1,
+		Name:        name,
+	}
+	numEdges := binary.LittleEndian.Uint32(hdr[8:])
+	el.Edges = make([]Edge, numEdges)
+	recSize := 8
+	if el.Weighted {
+		recSize = 12
+	}
+	var rec [12]byte
+	for i := range el.Edges {
+		if _, err := io.ReadFull(br, rec[:recSize]); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		el.Edges[i].Src = binary.LittleEndian.Uint32(rec[0:])
+		el.Edges[i].Dst = binary.LittleEndian.Uint32(rec[4:])
+		if el.Weighted {
+			el.Edges[i].W = bitsFloat(binary.LittleEndian.Uint32(rec[8:]))
+		} else {
+			el.Edges[i].W = 1
+		}
+	}
+	return el, nil
+}

@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+func bitsFloat(b uint32) float32 { return math.Float32frombits(b) }
+
+// Inf is the distance assigned to unreachable vertices by SSSP and BFS.
+// It matches the engines' initial vertex value (Algorithm 7 line 2).
+var Inf = math.Inf(1)
+
+// RefPageRank runs synchronous power iteration with the exact update rule of
+// Algorithm 6: val'(v) = 0.15/|V| + 0.85 * Σ_{(u,v)∈E} val(u)/dout(u).
+// Dangling mass is dropped, as in Pregel-style systems. It returns the rank
+// vector after the given number of supersteps; this is the oracle every
+// engine must reproduce bit-for-bit up to float summation order.
+func RefPageRank(el *EdgeList, supersteps int) []float64 {
+	n := el.NumVertices
+	_, out := el.Degrees()
+	val := make([]float64, n)
+	next := make([]float64, n)
+	for v := range val {
+		val[v] = 1 / float64(n)
+	}
+	for step := 0; step < supersteps; step++ {
+		base := 0.15 / float64(n)
+		for v := range next {
+			next[v] = 0
+		}
+		for _, e := range el.Edges {
+			next[e.Dst] += val[e.Src] / float64(out[e.Src])
+		}
+		for v := range next {
+			next[v] = base + 0.85*next[v]
+		}
+		val, next = next, val
+	}
+	return val
+}
+
+// RefSSSP computes single-source shortest paths with Dijkstra's algorithm.
+// Unreachable vertices get Inf. Weights must be non-negative, which the
+// generators guarantee; the synchronous Bellman-Ford the engines implement
+// converges to the same fixed point.
+func RefSSSP(el *EdgeList, source VertexID) []float64 {
+	adj := BuildOutAdjacency(el)
+	dist := make([]float64, el.NumVertices)
+	for v := range dist {
+		dist[v] = Inf
+	}
+	dist[source] = 0
+	pq := &vertexHeap{items: []heapItem{{v: source, d: 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if it.d > dist[it.v] {
+			continue // stale entry
+		}
+		nbrs := adj.OutNeighbors(it.v)
+		ws := adj.OutWeights(it.v)
+		for i, u := range nbrs {
+			w := 1.0
+			if ws != nil {
+				w = float64(ws[i])
+			}
+			if nd := it.d + w; nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, heapItem{v: u, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type heapItem struct {
+	v VertexID
+	d float64
+}
+
+type vertexHeap struct{ items []heapItem }
+
+func (h *vertexHeap) Len() int           { return len(h.items) }
+func (h *vertexHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
+func (h *vertexHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *vertexHeap) Push(x interface{}) { h.items = append(h.items, x.(heapItem)) }
+func (h *vertexHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// RefWCC labels weakly connected components with union-find: every vertex is
+// labelled with the smallest vertex id in its component (edge direction is
+// ignored). This matches the fixed point of the min-propagation WCC program
+// on a symmetrized graph.
+func RefWCC(el *EdgeList) []uint32 {
+	parent := make([]uint32, el.NumVertices)
+	for v := range parent {
+		parent[v] = uint32(v)
+	}
+	var find func(uint32) uint32
+	find = func(v uint32) uint32 {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]] // path halving
+			v = parent[v]
+		}
+		return v
+	}
+	for _, e := range el.Edges {
+		a, b := find(e.Src), find(e.Dst)
+		if a == b {
+			continue
+		}
+		if a < b {
+			parent[b] = a
+		} else {
+			parent[a] = b
+		}
+	}
+	labels := make([]uint32, el.NumVertices)
+	for v := range labels {
+		labels[v] = find(uint32(v))
+	}
+	return labels
+}
+
+// RefBFS returns hop distances from source, Inf for unreachable vertices.
+func RefBFS(el *EdgeList, source VertexID) []float64 {
+	adj := BuildOutAdjacency(el)
+	dist := make([]float64, el.NumVertices)
+	for v := range dist {
+		dist[v] = Inf
+	}
+	dist[source] = 0
+	frontier := []VertexID{source}
+	for level := 1.0; len(frontier) > 0; level++ {
+		var next []VertexID
+		for _, v := range frontier {
+			for _, u := range adj.OutNeighbors(v) {
+				if math.IsInf(dist[u], 1) {
+					dist[u] = level
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}

@@ -1,0 +1,330 @@
+// Package snappy implements the snappy block compression format from
+// scratch using only the standard library. GraphH uses snappy as its default
+// edge-cache and network-message compressor (§IV-B, §IV-C of the paper)
+// because it trades a modest compression ratio (~1.9x on web graphs,
+// Table V) for very high throughput.
+//
+// The format is the stable snappy block format: a uvarint preamble holding
+// the decompressed length, followed by a sequence of literal and copy
+// elements. Copies reference earlier decompressed output with offsets
+// bounded by a 64 KiB block window, exactly like the reference
+// implementation, so output from this package is interchangeable with other
+// snappy codecs.
+package snappy
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+const (
+	tagLiteral = 0x00
+	tagCopy1   = 0x01
+	tagCopy2   = 0x02
+	tagCopy4   = 0x03
+
+	// maxBlockSize bounds match offsets so a uint16 hash table suffices.
+	maxBlockSize = 65536
+
+	// inputMargin guarantees enough look-ahead for the unrolled matcher.
+	inputMargin = 16 - 1
+
+	// minNonLiteralBlockSize is the smallest block worth running the
+	// matcher on; anything shorter is emitted as one literal.
+	minNonLiteralBlockSize = 1 + 1 + inputMargin
+
+	tableBits = 14
+	tableSize = 1 << tableBits
+	tableMask = tableSize - 1
+)
+
+// ErrCorrupt is returned when Decode encounters malformed input.
+var ErrCorrupt = errors.New("snappy: corrupt input")
+
+// ErrTooLarge is returned when the decoded-length preamble exceeds what this
+// implementation is willing to allocate.
+var ErrTooLarge = errors.New("snappy: decoded block is too large")
+
+// maxDecodedLen caps allocations triggered by hostile preambles (1 GiB).
+const maxDecodedLen = 1 << 30
+
+// MaxEncodedLen returns an upper bound on Encode's output size for an input
+// of length n, or -1 if n is too large to encode.
+func MaxEncodedLen(n int) int {
+	if n < 0 || uint64(n) > maxDecodedLen {
+		return -1
+	}
+	// 32 bytes covers the worst-case preamble and per-block literal headers.
+	return 32 + n + n/6
+}
+
+// Encode compresses src and returns the encoded block, using dst as scratch
+// space if it is large enough.
+func Encode(dst, src []byte) []byte {
+	n := MaxEncodedLen(len(src))
+	if n < 0 {
+		panic("snappy: source too large")
+	}
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	} else {
+		dst = dst[:n]
+	}
+	d := binary.PutUvarint(dst, uint64(len(src)))
+	for len(src) > 0 {
+		p := src
+		src = nil
+		if len(p) > maxBlockSize {
+			p, src = p[:maxBlockSize], p[maxBlockSize:]
+		}
+		if len(p) < minNonLiteralBlockSize {
+			d += emitLiteral(dst[d:], p)
+		} else {
+			d += encodeBlock(dst[d:], p)
+		}
+	}
+	return dst[:d]
+}
+
+func load32(b []byte, i int) uint32 { return binary.LittleEndian.Uint32(b[i:]) }
+func load64(b []byte, i int) uint64 { return binary.LittleEndian.Uint64(b[i:]) }
+
+func hash(u uint32) uint32 { return (u * 0x1e35a7bd) >> (32 - tableBits) }
+
+// emitLiteral writes the literal element for lit and returns bytes written.
+func emitLiteral(dst, lit []byte) int {
+	i, n := 0, len(lit)-1
+	switch {
+	case n < 60:
+		dst[0] = uint8(n)<<2 | tagLiteral
+		i = 1
+	case n < 1<<8:
+		dst[0] = 60<<2 | tagLiteral
+		dst[1] = uint8(n)
+		i = 2
+	case n < 1<<16:
+		dst[0] = 61<<2 | tagLiteral
+		dst[1] = uint8(n)
+		dst[2] = uint8(n >> 8)
+		i = 3
+	default:
+		dst[0] = 62<<2 | tagLiteral
+		dst[1] = uint8(n)
+		dst[2] = uint8(n >> 8)
+		dst[3] = uint8(n >> 16)
+		i = 4
+	}
+	return i + copy(dst[i:], lit)
+}
+
+// emitCopy writes copy elements covering length bytes at the given offset.
+func emitCopy(dst []byte, offset, length int) int {
+	i := 0
+	// Long matches: emit maximal 64-byte copy-2 elements, keeping the tail
+	// ≥ 4 so the final element is always legal.
+	for length >= 68 {
+		dst[i+0] = 63<<2 | tagCopy2
+		dst[i+1] = uint8(offset)
+		dst[i+2] = uint8(offset >> 8)
+		i += 3
+		length -= 64
+	}
+	if length > 64 {
+		dst[i+0] = 59<<2 | tagCopy2
+		dst[i+1] = uint8(offset)
+		dst[i+2] = uint8(offset >> 8)
+		i += 3
+		length -= 60
+	}
+	if length >= 12 || offset >= 2048 {
+		dst[i+0] = uint8(length-1)<<2 | tagCopy2
+		dst[i+1] = uint8(offset)
+		dst[i+2] = uint8(offset >> 8)
+		return i + 3
+	}
+	dst[i+0] = uint8(offset>>8)<<5 | uint8(length-4)<<2 | tagCopy1
+	dst[i+1] = uint8(offset)
+	return i + 2
+}
+
+// encodeBlock compresses one ≤64 KiB block with a greedy hash-chain matcher.
+func encodeBlock(dst, src []byte) (d int) {
+	var table [tableSize]uint16
+	sLimit := len(src) - inputMargin
+	nextEmit := 0
+	s := 1
+	nextHash := hash(load32(src, s))
+
+	for {
+		// Probe for a match, accelerating through incompressible data by
+		// growing the step size every 32 misses.
+		skip := 32
+		nextS := s
+		candidate := 0
+		for {
+			s = nextS
+			bytesBetweenHashLookups := skip >> 5
+			nextS = s + bytesBetweenHashLookups
+			skip += bytesBetweenHashLookups
+			if nextS > sLimit {
+				goto emitRemainder
+			}
+			candidate = int(table[nextHash&tableMask])
+			table[nextHash&tableMask] = uint16(s)
+			nextHash = hash(load32(src, nextS))
+			if load32(src, s) == load32(src, candidate) {
+				break
+			}
+		}
+
+		d += emitLiteral(dst[d:], src[nextEmit:s])
+
+		// Extend matches as far as possible, chaining consecutive copies.
+		for {
+			base := s
+			s += 4
+			for i := candidate + 4; s < len(src) && src[i] == src[s]; i, s = i+1, s+1 {
+			}
+			d += emitCopy(dst[d:], base-candidate, s-base)
+			nextEmit = s
+			if s >= sLimit {
+				goto emitRemainder
+			}
+
+			// Index the position one before s and check whether a match
+			// continues immediately; this catches runs without re-probing.
+			x := load64(src, s-1)
+			prevHash := hash(uint32(x >> 0))
+			table[prevHash&tableMask] = uint16(s - 1)
+			currHash := hash(uint32(x >> 8))
+			candidate = int(table[currHash&tableMask])
+			table[currHash&tableMask] = uint16(s)
+			if uint32(x>>8) != load32(src, candidate) {
+				nextHash = hash(uint32(x >> 16))
+				s++
+				break
+			}
+		}
+	}
+
+emitRemainder:
+	if nextEmit < len(src) {
+		d += emitLiteral(dst[d:], src[nextEmit:])
+	}
+	return d
+}
+
+// DecodedLen returns the decompressed length recorded in the block preamble.
+func DecodedLen(src []byte) (int, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	if v > maxDecodedLen {
+		return 0, ErrTooLarge
+	}
+	return int(v), nil
+}
+
+// Decode decompresses src and returns the decoded block, using dst as
+// scratch space if it is large enough. It never panics on corrupt input.
+func Decode(dst, src []byte) ([]byte, error) {
+	dLen, err := DecodedLen(src)
+	if err != nil {
+		return nil, err
+	}
+	_, hdr := binary.Uvarint(src)
+	s := hdr
+	if cap(dst) < dLen {
+		dst = make([]byte, dLen)
+	} else {
+		dst = dst[:dLen]
+	}
+
+	d := 0
+	for s < len(src) {
+		var length, offset int
+		switch src[s] & 0x03 {
+		case tagLiteral:
+			x := int(src[s] >> 2)
+			switch {
+			case x < 60:
+				s++
+			case x == 60:
+				if s+2 > len(src) {
+					return nil, ErrCorrupt
+				}
+				x = int(src[s+1])
+				s += 2
+			case x == 61:
+				if s+3 > len(src) {
+					return nil, ErrCorrupt
+				}
+				x = int(src[s+1]) | int(src[s+2])<<8
+				s += 3
+			case x == 62:
+				if s+4 > len(src) {
+					return nil, ErrCorrupt
+				}
+				x = int(src[s+1]) | int(src[s+2])<<8 | int(src[s+3])<<16
+				s += 4
+			default: // x == 63
+				if s+5 > len(src) {
+					return nil, ErrCorrupt
+				}
+				x = int(src[s+1]) | int(src[s+2])<<8 | int(src[s+3])<<16 | int(src[s+4])<<24
+				s += 5
+			}
+			length = x + 1
+			if length <= 0 || length > dLen-d || length > len(src)-s {
+				return nil, ErrCorrupt
+			}
+			copy(dst[d:], src[s:s+length])
+			d += length
+			s += length
+			continue
+
+		case tagCopy1:
+			if s+2 > len(src) {
+				return nil, ErrCorrupt
+			}
+			length = 4 + int(src[s]>>2)&0x7
+			offset = int(src[s]&0xe0)<<3 | int(src[s+1])
+			s += 2
+
+		case tagCopy2:
+			if s+3 > len(src) {
+				return nil, ErrCorrupt
+			}
+			length = 1 + int(src[s]>>2)
+			offset = int(src[s+1]) | int(src[s+2])<<8
+			s += 3
+
+		default: // tagCopy4
+			if s+5 > len(src) {
+				return nil, ErrCorrupt
+			}
+			length = 1 + int(src[s]>>2)
+			offset = int(src[s+1]) | int(src[s+2])<<8 | int(src[s+3])<<16 | int(src[s+4])<<24
+			s += 5
+		}
+
+		if offset <= 0 || d < offset || length > dLen-d {
+			return nil, ErrCorrupt
+		}
+		// Copies may overlap their own output (offset < length): copy one
+		// byte at a time in that case to replicate run-length behaviour.
+		if offset >= length {
+			copy(dst[d:d+length], dst[d-offset:])
+			d += length
+		} else {
+			for end := d + length; d < end; d++ {
+				dst[d] = dst[d-offset]
+			}
+		}
+	}
+	if d != dLen {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}

@@ -1,0 +1,231 @@
+package snappy
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	enc := Encode(nil, src)
+	dec, err := Decode(nil, enc)
+	if err != nil {
+		t.Fatalf("decode failed on %d-byte input: %v", len(src), err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip mismatch: %d in, %d out", len(src), len(dec))
+	}
+	if len(enc) > MaxEncodedLen(len(src)) {
+		t.Fatalf("encoded %d bytes exceeds MaxEncodedLen %d", len(enc), MaxEncodedLen(len(src)))
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T)   { roundTrip(t, nil) }
+func TestRoundTripByte(t *testing.T)    { roundTrip(t, []byte{0x42}) }
+func TestRoundTripShort(t *testing.T)   { roundTrip(t, []byte("hello")) }
+func TestRoundTripRepeats(t *testing.T) { roundTrip(t, bytes.Repeat([]byte("ab"), 10_000)) }
+
+func TestRoundTripText(t *testing.T) {
+	text := strings.Repeat("the quick brown fox jumps over the lazy dog. ", 500)
+	roundTrip(t, []byte(text))
+	enc := Encode(nil, []byte(text))
+	if len(enc) > len(text)/3 {
+		t.Fatalf("repetitive text compressed to %d/%d bytes — matcher is broken", len(enc), len(text))
+	}
+}
+
+func TestRoundTripIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	data := make([]byte, 100_000)
+	for i := range data {
+		data[i] = byte(rng.Uint32())
+	}
+	roundTrip(t, data)
+}
+
+func TestRoundTripRunLength(t *testing.T) {
+	// Overlapping copies (offset < length) exercise the byte-at-a-time path.
+	roundTrip(t, bytes.Repeat([]byte{0xAA}, 70_000))
+}
+
+func TestRoundTripMultiBlock(t *testing.T) {
+	// Larger than maxBlockSize forces multiple blocks.
+	rng := rand.New(rand.NewPCG(3, 9))
+	data := make([]byte, 3*maxBlockSize+12345)
+	for i := range data {
+		if i%7 == 0 {
+			data[i] = byte(rng.Uint32())
+		} else {
+			data[i] = byte(i)
+		}
+	}
+	roundTrip(t, data)
+}
+
+func TestRoundTripGraphLikeData(t *testing.T) {
+	// CSR column arrays: sorted-ish uint32s with locality, the actual
+	// payload GraphH compresses.
+	data := make([]byte, 0, 4*50_000)
+	v := uint32(0)
+	rng := rand.New(rand.NewPCG(11, 13))
+	for i := 0; i < 50_000; i++ {
+		v += rng.Uint32N(8)
+		data = append(data, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	roundTrip(t, data)
+	enc := Encode(nil, data)
+	if len(enc) >= len(data) {
+		t.Logf("graph-like data did not compress (%d -> %d); acceptable but unusual", len(data), len(enc))
+	}
+}
+
+func TestEncodeReusesDst(t *testing.T) {
+	src := bytes.Repeat([]byte("xyz"), 1000)
+	buf := make([]byte, MaxEncodedLen(len(src)))
+	enc := Encode(buf, src)
+	if &enc[0] != &buf[0] {
+		t.Fatal("Encode did not reuse the provided buffer")
+	}
+}
+
+func TestDecodeReusesDst(t *testing.T) {
+	src := bytes.Repeat([]byte("pq"), 500)
+	enc := Encode(nil, src)
+	buf := make([]byte, len(src))
+	dec, err := Decode(buf, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &dec[0] != &buf[0] {
+		t.Fatal("Decode did not reuse the provided buffer")
+	}
+}
+
+func TestDecodedLen(t *testing.T) {
+	src := []byte("some data to compress")
+	enc := Encode(nil, src)
+	n, err := DecodedLen(enc)
+	if err != nil || n != len(src) {
+		t.Fatalf("DecodedLen = %d, %v; want %d", n, err, len(src))
+	}
+	if _, err := DecodedLen(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{},                        // no preamble
+		{0x80},                    // truncated uvarint
+		{0x05},                    // preamble says 5 bytes, no body
+		{0x05, 0xFC},              // literal header runs past input
+		{0x04, 0x00<<2 | 1, 0x00}, // copy1 with offset 0
+		{0x02, 61 << 2},           // literal len-2 header truncated
+		{0x03, 0x01, 0xFF, 0x02},  // copy beyond what was written
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}, // huge preamble
+	}
+	for i, c := range cases {
+		if _, err := Decode(nil, c); err == nil {
+			t.Errorf("case %d: corrupt input %x accepted", i, c)
+		}
+	}
+}
+
+func TestDecodeTruncatedRealStream(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefgh"), 4096)
+	enc := Encode(nil, src)
+	for _, cut := range []int{1, len(enc) / 2, len(enc) - 1} {
+		if _, err := Decode(nil, enc[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestMaxEncodedLen(t *testing.T) {
+	if MaxEncodedLen(-1) != -1 {
+		t.Fatal("negative length must be rejected")
+	}
+	if MaxEncodedLen(1<<31) != -1 {
+		t.Fatal("oversized length must be rejected")
+	}
+	if MaxEncodedLen(0) <= 0 {
+		t.Fatal("zero-length input needs room for the preamble")
+	}
+}
+
+func TestPropertyRoundTripRandom(t *testing.T) {
+	prop := func(data []byte) bool {
+		enc := Encode(nil, data)
+		dec, err := Decode(nil, enc)
+		return err == nil && bytes.Equal(dec, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRoundTripStructured(t *testing.T) {
+	// Random byte strings are incompressible; also fuzz structured inputs
+	// that hit the copy paths hard.
+	prop := func(seed uint64, chunk uint8, reps uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		unit := make([]byte, int(chunk)+1)
+		for i := range unit {
+			unit[i] = byte(rng.Uint32N(4)) // tiny alphabet: many matches
+		}
+		data := bytes.Repeat(unit, int(reps)%512+1)
+		enc := Encode(nil, data)
+		dec, err := Decode(nil, enc)
+		return err == nil && bytes.Equal(dec, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDecodeNeverPanics(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		Decode(nil, data) // may error, must not panic
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeGraphData(b *testing.B) {
+	data := make([]byte, 0, 4*1<<16)
+	v := uint32(0)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 1<<16; i++ {
+		v += rng.Uint32N(8)
+		data = append(data, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	buf := make([]byte, MaxEncodedLen(len(data)))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(buf, data)
+	}
+}
+
+func BenchmarkDecodeGraphData(b *testing.B) {
+	data := bytes.Repeat([]byte("edge list data 0123456789"), 10_000)
+	enc := Encode(nil, data)
+	buf := make([]byte, len(data))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

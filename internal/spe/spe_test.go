@@ -1,0 +1,276 @@
+package spe
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/graph"
+	"repro/internal/tile"
+)
+
+func newTestEngine(t *testing.T, parallelism int) *Engine {
+	t.Helper()
+	base := t.TempDir()
+	dirs := []string{filepath.Join(base, "dn0"), filepath.Join(base, "dn1")}
+	d, err := dfs.New(dirs, dfs.Config{Replication: 1, BlockSize: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(d, parallelism)
+}
+
+func storeBinary(t *testing.T, e *Engine, el *graph.EdgeList, path string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := el.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DFS.WriteFile(path, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreprocessMatchesInMemoryPartitioner(t *testing.T) {
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 500, 5000, 21)
+	el.Name = "equiv"
+	e := newTestEngine(t, 4)
+	storeBinary(t, e, el, "raw/equiv.bin")
+
+	opts := tile.Options{TileSize: 700}
+	man, err := e.Preprocess("raw/equiv.bin", "out/equiv", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := tile.Split(el, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.NumTiles() != ref.NumTiles() {
+		t.Fatalf("SPE built %d tiles, partitioner %d", man.NumTiles(), ref.NumTiles())
+	}
+	if len(man.Splitter) != len(ref.Splitter) {
+		t.Fatalf("splitter length %d vs %d", len(man.Splitter), len(ref.Splitter))
+	}
+	for i := range man.Splitter {
+		if man.Splitter[i] != ref.Splitter[i] {
+			t.Fatalf("splitter[%d] = %d vs %d", i, man.Splitter[i], ref.Splitter[i])
+		}
+	}
+	for i := 0; i < man.NumTiles(); i++ {
+		got, err := e.FetchTile(man, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Tiles[i]
+		if got.TargetLo != want.TargetLo || got.TargetHi != want.TargetHi {
+			t.Fatalf("tile %d range mismatch", i)
+		}
+		if got.NumEdges() != want.NumEdges() {
+			t.Fatalf("tile %d edges %d vs %d", i, got.NumEdges(), want.NumEdges())
+		}
+		for j := range want.Col {
+			if got.Col[j] != want.Col[j] {
+				t.Fatalf("tile %d col[%d] = %d vs %d", i, j, got.Col[j], want.Col[j])
+			}
+		}
+		for j := range want.Row {
+			if got.Row[j] != want.Row[j] {
+				t.Fatalf("tile %d row[%d] mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestPreprocessDegrees(t *testing.T) {
+	el := graph.GenerateUniform(300, 3000, 31)
+	el.Name = "deg"
+	e := newTestEngine(t, 3)
+	man, err := e.PreprocessEdgeList(el, "out/deg", tile.Options{TileSize: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out, err := e.FetchDegrees(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIn, wantOut := el.Degrees()
+	for v := range wantIn {
+		if in[v] != wantIn[v] || out[v] != wantOut[v] {
+			t.Fatalf("vertex %d degrees (%d,%d), want (%d,%d)", v, in[v], out[v], wantIn[v], wantOut[v])
+		}
+	}
+}
+
+func TestPreprocessParallelismInvariance(t *testing.T) {
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 200, 2000, 41)
+	el.Name = "par"
+	var manifests []*Manifest
+	var engines []*Engine
+	for _, p := range []int{1, 2, 8} {
+		e := newTestEngine(t, p)
+		man, err := e.PreprocessEdgeList(el, "out/par", tile.Options{TileSize: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		manifests = append(manifests, man)
+		engines = append(engines, e)
+	}
+	base := manifests[0]
+	for k := 1; k < len(manifests); k++ {
+		m := manifests[k]
+		if m.NumTiles() != base.NumTiles() {
+			t.Fatalf("parallelism changed tile count: %d vs %d", m.NumTiles(), base.NumTiles())
+		}
+		for i := 0; i < base.NumTiles(); i++ {
+			a, err := engines[0].FetchTile(base, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := engines[k].FetchTile(m, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.NumEdges() != b.NumEdges() {
+				t.Fatalf("tile %d edge count differs with parallelism", i)
+			}
+			for j := range a.Col {
+				if a.Col[j] != b.Col[j] {
+					t.Fatalf("tile %d col[%d] differs with parallelism", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPreprocessFromCSV(t *testing.T) {
+	el := graph.GenerateUniform(50, 400, 3)
+	el.Name = "csvgraph"
+	e := newTestEngine(t, 2)
+	var buf bytes.Buffer
+	if err := el.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DFS.WriteFile("raw/g.csv", buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	man, err := e.Preprocess("raw/g.csv", "out/csv", tile.Options{TileSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.NumEdges != el.NumEdges() {
+		t.Fatalf("manifest records %d edges, want %d", man.NumEdges, el.NumEdges())
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	el := graph.GenerateUniform(100, 800, 5)
+	el.Name = "mani"
+	e := newTestEngine(t, 2)
+	man, err := e.PreprocessEdgeList(el, "out/mani", tile.Options{TileSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.LoadManifest("out/mani")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != man.Name || got.NumVertices != man.NumVertices ||
+		got.NumEdges != man.NumEdges || got.NumTiles() != man.NumTiles() {
+		t.Fatalf("manifest round trip mismatch: %+v vs %+v", got, man)
+	}
+	if got.TotalTileBytes() != man.TotalTileBytes() {
+		t.Fatal("tile byte accounting changed in round trip")
+	}
+}
+
+func TestWeightedPreprocess(t *testing.T) {
+	el := graph.AttachWeights(graph.GenerateUniform(80, 600, 7), 3, 13)
+	el.Name = "weighted"
+	e := newTestEngine(t, 2)
+	man, err := e.PreprocessEdgeList(el, "out/w", tile.Options{TileSize: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !man.Weighted {
+		t.Fatal("weighted flag lost")
+	}
+	for i := 0; i < man.NumTiles(); i++ {
+		tl, err := e.FetchTile(man, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tl.Weighted() {
+			t.Fatalf("tile %d lost weights", i)
+		}
+	}
+}
+
+func TestFetchTileOutOfRange(t *testing.T) {
+	el := graph.GenerateUniform(20, 50, 1)
+	el.Name = "small"
+	e := newTestEngine(t, 1)
+	man, err := e.PreprocessEdgeList(el, "out/s", tile.Options{TileSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.FetchTile(man, man.NumTiles()); err == nil {
+		t.Fatal("out-of-range tile index accepted")
+	}
+	if _, err := e.FetchTile(man, -1); err == nil {
+		t.Fatal("negative tile index accepted")
+	}
+}
+
+func TestEmptyGraphRejected(t *testing.T) {
+	e := newTestEngine(t, 1)
+	if _, err := e.PreprocessEdgeList(&graph.EdgeList{}, "out/e", tile.Options{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestUint32Codec(t *testing.T) {
+	cases := [][]uint32{nil, {}, {0}, {1, 2, 3, 1 << 31}, make([]uint32, 1000)}
+	for _, c := range cases {
+		got, err := DecodeUint32s(EncodeUint32s(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(c) {
+			t.Fatalf("length %d, want %d", len(got), len(c))
+		}
+		for i := range c {
+			if got[i] != c[i] {
+				t.Fatalf("element %d mismatch", i)
+			}
+		}
+	}
+	if _, err := DecodeUint32s([]byte{1, 2}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, err := DecodeUint32s([]byte{5, 0, 0, 0, 1, 2}); err == nil {
+		t.Fatal("inconsistent length accepted")
+	}
+}
+
+func TestTileBytesMatchDFS(t *testing.T) {
+	el := graph.GenerateUniform(150, 1200, 9)
+	el.Name = "sizes"
+	e := newTestEngine(t, 2)
+	man, err := e.PreprocessEdgeList(el, "out/sz", tile.Options{TileSize: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range man.TilePaths {
+		size, err := e.DFS.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size != man.TileBytes[i] {
+			t.Fatalf("tile %d manifest says %d bytes, DFS has %d", i, man.TileBytes[i], size)
+		}
+	}
+	fmt.Printf("total tile bytes: %d (raw CSV: %d)\n", man.TotalTileBytes(), el.CSVSize())
+}
