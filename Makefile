@@ -1,0 +1,35 @@
+# Tier-1 verification and development targets. `make ci` is the one-command
+# gate: build, vet, then the full test suite.
+
+GO ?= go
+
+.PHONY: all build test vet bench bench-codec fuzz ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# ci is the tier-1 verify: everything must build, vet clean and pass.
+ci: build vet test
+
+# bench runs the experiment-harness benchmarks plus the end-to-end PageRank
+# hot-path benchmark (see PERF.md).
+bench:
+	$(GO) test . -run xxx -bench . -benchmem
+
+# bench-codec tracks the serialization hot paths against the per-word
+# reference implementation (the PERF.md table).
+bench-codec:
+	$(GO) test ./internal/csr/ -run xxx -bench 'TileDecode|TileEncode|TileAppend|BuildFilter' -benchmem
+	$(GO) test ./internal/comm/ -run xxx -bench 'Encode|DecodeInto' -benchmem
+
+# fuzz gives the tile-codec fuzzer a short budget; raise -fuzztime at will.
+fuzz:
+	$(GO) test ./internal/csr/ -run xxx -fuzz FuzzDecode -fuzztime 30s

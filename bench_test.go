@@ -14,6 +14,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro"
 	"repro/internal/bench"
 )
 
@@ -104,3 +105,25 @@ func BenchmarkAblationCacheAuto(b *testing.B) { runExperiment(b, "a4") }
 
 // BenchmarkAblationTileSize covers ablation A5 (tile size sweep).
 func BenchmarkAblationTileSize(b *testing.B) { runExperiment(b, "a5") }
+
+// BenchmarkPageRank4Servers runs ten PageRank supersteps end to end on a
+// 4-server cluster — the direct measure of the superstep hot path that the
+// zero-copy tile codec and the allocation-free scratch buffers target (see
+// PERF.md for tracked numbers; run with -benchmem). Scale follows
+// GRAPHH_BENCH_SCALE like the rest of the suite.
+func BenchmarkPageRank4Servers(b *testing.B) {
+	g, err := graphh.Generate("uk2007-sim", benchCtx().Scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := graphh.Partition(g, graphh.PartitionOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graphh.Run(p, graphh.NewPageRank(), graphh.Options{Servers: 4, MaxSupersteps: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"repro/internal/wordcodec"
 )
 
 // Filter is a classic k-hash Bloom filter over uint32 keys. The zero value
@@ -103,6 +105,13 @@ func (f *Filter) ContainsAny(keys []uint32) bool {
 	return false
 }
 
+// Clone returns a deep copy of the filter that owns its bit array.
+func (f *Filter) Clone() *Filter {
+	bits := make([]uint64, len(f.bits))
+	copy(bits, f.bits)
+	return &Filter{bits: bits, numBits: f.numBits, k: f.k, n: f.n}
+}
+
 // SizeBytes returns the in-memory footprint of the bit array.
 func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
 
@@ -118,39 +127,60 @@ func (f *Filter) EstimatedFPRate() float64 {
 	return math.Pow(1-math.Exp(-float64(f.k)*float64(f.n)/float64(f.numBits)), float64(f.k))
 }
 
-// Encode serializes the filter to a compact binary form suitable for storing
-// in a tile header.
-func (f *Filter) Encode() []byte {
-	buf := make([]byte, 20+len(f.bits)*8)
+// EncodedSize returns the exact length of the filter's binary form.
+func (f *Filter) EncodedSize() int { return 20 + len(f.bits)*8 }
+
+// AppendEncode appends the filter's compact binary form to dst and returns
+// the extended slice.
+func (f *Filter) AppendEncode(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, f.EncodedSize())...)
+	buf := dst[off:]
 	binary.LittleEndian.PutUint64(buf[0:], f.numBits)
 	binary.LittleEndian.PutUint32(buf[8:], f.k)
 	binary.LittleEndian.PutUint64(buf[12:], f.n)
-	for i, w := range f.bits {
-		binary.LittleEndian.PutUint64(buf[20+i*8:], w)
-	}
-	return buf
+	wordcodec.PutUint64s(buf[20:], f.bits)
+	return dst
+}
+
+// Encode serializes the filter to a compact binary form suitable for storing
+// in a tile header.
+func (f *Filter) Encode() []byte {
+	return f.AppendEncode(make([]byte, 0, f.EncodedSize()))
 }
 
 // Decode reconstructs a filter produced by Encode.
 func Decode(data []byte) (*Filter, error) {
-	if len(data) < 20 {
-		return nil, fmt.Errorf("bloom: encoded filter too short (%d bytes)", len(data))
-	}
-	f := &Filter{
-		numBits: binary.LittleEndian.Uint64(data[0:]),
-		k:       binary.LittleEndian.Uint32(data[8:]),
-		n:       binary.LittleEndian.Uint64(data[12:]),
-	}
-	if f.numBits == 0 || f.numBits%64 != 0 || f.k == 0 || f.k > 16 {
-		return nil, fmt.Errorf("bloom: corrupt filter header (bits=%d k=%d)", f.numBits, f.k)
-	}
-	words := int(f.numBits / 64)
-	if len(data) != 20+words*8 {
-		return nil, fmt.Errorf("bloom: encoded filter length %d, want %d", len(data), 20+words*8)
-	}
-	f.bits = make([]uint64, words)
-	for i := range f.bits {
-		f.bits[i] = binary.LittleEndian.Uint64(data[20+i*8:])
+	f := new(Filter)
+	if err := DecodeInto(f, data); err != nil {
+		return nil, err
 	}
 	return f, nil
+}
+
+// DecodeInto reconstructs a filter produced by Encode into f, reusing f's
+// bit array when its capacity suffices so repeated decodes into the same
+// filter are allocation-free. On error f is left unchanged.
+func DecodeInto(f *Filter, data []byte) error {
+	if len(data) < 20 {
+		return fmt.Errorf("bloom: encoded filter too short (%d bytes)", len(data))
+	}
+	numBits := binary.LittleEndian.Uint64(data[0:])
+	k := binary.LittleEndian.Uint32(data[8:])
+	n := binary.LittleEndian.Uint64(data[12:])
+	if numBits == 0 || numBits%64 != 0 || k == 0 || k > 16 {
+		return fmt.Errorf("bloom: corrupt filter header (bits=%d k=%d)", numBits, k)
+	}
+	words := int(numBits / 64)
+	if len(data) != 20+words*8 {
+		return fmt.Errorf("bloom: encoded filter length %d, want %d", len(data), 20+words*8)
+	}
+	f.numBits, f.k, f.n = numBits, k, n
+	if cap(f.bits) < words {
+		f.bits = make([]uint64, words)
+	} else {
+		f.bits = f.bits[:words]
+	}
+	wordcodec.Uint64s(f.bits, data[20:])
+	return nil
 }

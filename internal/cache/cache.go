@@ -72,11 +72,20 @@ type Cache struct {
 	mode     compress.Mode
 	policy   Policy
 
+	// scratch recycles decompression buffers across Get calls so compressed
+	// hits do not allocate a fresh body per access.
+	scratch sync.Pool
+
 	mu      sync.Mutex
 	entries map[int]*entry
 	lru     *list.List // front = most recently used
 	bytes   int64
 	stats   Stats
+	// declined is set when an AdmitNoEvict insertion is turned away for
+	// capacity: from then on the cache is effectively full for the cyclic
+	// access pattern of a superstep loop, so miss paths can decode into
+	// caller scratch instead of allocating tiles that will not be retained.
+	declined bool
 }
 
 // New creates a cache with the given capacity in bytes and mode, using the
@@ -100,13 +109,15 @@ func NewWithPolicy(capacityBytes int64, mode compress.Mode, policy Policy) (*Cac
 	if policy != AdmitNoEvict && policy != LRU {
 		return nil, fmt.Errorf("cache: invalid policy %d", int(policy))
 	}
-	return &Cache{
+	c := &Cache{
 		capacity: capacityBytes,
 		mode:     mode,
 		policy:   policy,
 		entries:  make(map[int]*entry),
 		lru:      list.New(),
-	}, nil
+	}
+	c.scratch.New = func() any { return new([]byte) }
+	return c, nil
 }
 
 // NewAuto creates a cache whose mode is selected by the paper's rule from
@@ -125,6 +136,15 @@ func (c *Cache) Capacity() int64 { return c.capacity }
 // For compressed modes the tile is decompressed and decoded on the fly;
 // failures are treated as misses and the entry dropped.
 func (c *Cache) Get(id int) (*csr.Tile, bool) {
+	return c.GetInto(id, nil)
+}
+
+// GetInto is Get with a caller-owned destination tile: compressed hits are
+// decoded into dst (reusing its arrays) instead of a fresh tile, making the
+// hit path allocation-free in steady state. In mode None the cached tile
+// itself is returned and dst is untouched, so callers must always use the
+// returned tile. A nil dst decodes into a fresh tile.
+func (c *Cache) GetInto(id int, dst *csr.Tile) (*csr.Tile, bool) {
 	c.mu.Lock()
 	e, ok := c.entries[id]
 	if !ok {
@@ -140,17 +160,22 @@ func (c *Cache) Get(id int) (*csr.Tile, bool) {
 	if tile != nil {
 		return tile, true
 	}
+	if dst == nil {
+		dst = new(csr.Tile)
+	}
 	start := time.Now()
-	raw, err := c.mode.Decompress(blob)
+	scratch := c.scratch.Get().(*[]byte)
+	raw, err := c.mode.AppendDecompress((*scratch)[:0], blob)
 	if err == nil {
-		var t *csr.Tile
-		t, err = csr.Decode(raw)
-		if err == nil {
-			c.mu.Lock()
-			c.stats.DecompressTime += time.Since(start)
-			c.mu.Unlock()
-			return t, true
-		}
+		*scratch = raw
+		err = csr.DecodeInto(dst, raw)
+	}
+	c.scratch.Put(scratch)
+	if err == nil {
+		c.mu.Lock()
+		c.stats.DecompressTime += time.Since(start)
+		c.mu.Unlock()
+		return dst, true
 	}
 	// Corrupt cache entry: drop it and report a miss so the caller reloads
 	// from disk.
@@ -178,6 +203,9 @@ func (c *Cache) Put(id int, t *csr.Tile) error {
 		c.mu.Lock()
 		full := c.bytes+optimistic > c.capacity
 		_, present := c.entries[id]
+		if full && !present {
+			c.declined = true
+		}
 		c.mu.Unlock()
 		if full && !present {
 			return nil
@@ -187,7 +215,10 @@ func (c *Cache) Put(id int, t *csr.Tile) error {
 	if c.mode == compress.None {
 		e = &entry{id: id, tile: t, size: t.SizeBytes()}
 	} else {
-		blob, err := c.mode.Compress(t.Encode())
+		enc := c.scratch.Get().(*[]byte)
+		*enc = t.AppendEncode((*enc)[:0])
+		blob, err := c.mode.AppendCompress(nil, *enc)
+		c.scratch.Put(enc)
 		if err != nil {
 			return fmt.Errorf("cache: compressing tile %d: %w", id, err)
 		}
@@ -206,6 +237,7 @@ func (c *Cache) Put(id int, t *csr.Tile) error {
 	}
 	if c.policy == AdmitNoEvict {
 		if c.bytes+e.size > c.capacity {
+			c.declined = true
 			return nil // full: the paper's cache simply declines (§IV-B)
 		}
 	} else {
@@ -236,6 +268,59 @@ func (c *Cache) GetOrLoad(id int, load func() (*csr.Tile, error)) (*csr.Tile, er
 	if err != nil {
 		return nil, err
 	}
+	if err := c.Put(id, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// GetOrLoadInto is GetOrLoad with a caller-owned scratch tile. The load
+// function receives the tile to decode into, or nil when it must allocate a
+// fresh tile because the cache may retain the decoded form (mode None with
+// room left). Once the cache has settled — every tile either cached or
+// declined — misses decode into dst and the hot path stops allocating.
+func (c *Cache) GetOrLoadInto(id int, dst *csr.Tile, load func(dst *csr.Tile) (*csr.Tile, error)) (*csr.Tile, error) {
+	if t, ok := c.GetInto(id, dst); ok {
+		return t, nil
+	}
+	into, scratchDecoded := dst, false
+	if c.mode == compress.None && c.capacity > 0 {
+		// In mode None, Put retains the decoded tile itself, so it must own
+		// its memory. Before the first decline, decode fresh so the cache
+		// can take the tile directly; after it, decode into caller scratch
+		// (the common full-cache steady state) and clone below only in the
+		// rare case a smaller tile still fits.
+		c.mu.Lock()
+		settled := c.policy == AdmitNoEvict && c.declined
+		c.mu.Unlock()
+		if settled {
+			scratchDecoded = true
+		} else {
+			into = nil
+		}
+	}
+	t, err := load(into)
+	if err != nil {
+		return nil, err
+	}
+	if scratchDecoded {
+		// Preserve the paper's per-insertion admission (§IV-B): a tile that
+		// still fits is admitted even after earlier declines, but it must
+		// own its memory, so pay for a deep copy only when it will be kept.
+		size := t.SizeBytes()
+		c.mu.Lock()
+		_, present := c.entries[id]
+		fits := !present && size <= c.capacity && c.bytes+size <= c.capacity
+		c.mu.Unlock()
+		if fits {
+			if err := c.Put(id, t.Clone()); err != nil {
+				return nil, err
+			}
+		}
+		return t, nil
+	}
+	// Compressed modes store a blob, never the tile, so inserting a
+	// scratch-backed tile is safe there.
 	if err := c.Put(id, t); err != nil {
 		return nil, err
 	}

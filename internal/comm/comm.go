@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"slices"
+	"sync"
 
 	"repro/internal/compress"
 )
@@ -121,9 +123,22 @@ const headerSize = 1 + 1 + 4 + 4 + 4 + 4 + 4 + 4
 //	[26:]  body
 const magicByte = 0xB7
 
+// bodyPool recycles the uncompressed-body scratch buffers used between
+// encoding and compression (and decompression and parsing), so steady-state
+// supersteps do not allocate a body per batch.
+var bodyPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // Encode serializes the batch per the options. The updates must be sorted
 // by id and lie within [Lo,Hi); Encode validates this.
 func Encode(b *Batch, opts Options) ([]byte, Encoding, error) {
+	return AppendEncode(nil, b, opts)
+}
+
+// AppendEncode appends the encoded message to dst and returns the extended
+// slice. When dst has enough spare capacity the only per-call allocation is
+// internal scratch, which is pooled — workers reuse one wire buffer per tile
+// per superstep this way instead of allocating every broadcast.
+func AppendEncode(dst []byte, b *Batch, opts Options) ([]byte, Encoding, error) {
 	if err := validateBatch(b); err != nil {
 		return nil, Encoding{}, err
 	}
@@ -144,24 +159,33 @@ func Encode(b *Batch, opts Options) ([]byte, Encoding, error) {
 	default:
 		return nil, Encoding{}, fmt.Errorf("comm: unknown mode choice %d", int(opts.Choice))
 	}
-
-	var body []byte
-	switch mode {
-	case DenseMode:
-		body = encodeDense(b)
-	case SparseMode:
-		body = encodeSparse(b)
-	}
-	rawLen := len(body)
 	if !opts.Codec.Valid() {
 		return nil, Encoding{}, fmt.Errorf("comm: invalid codec %d", int(opts.Codec))
 	}
-	compressed, err := opts.Codec.Compress(body)
+
+	scratch := bodyPool.Get().(*[]byte)
+	var body []byte
+	switch mode {
+	case DenseMode:
+		body = encodeDenseInto((*scratch)[:0], b)
+	case SparseMode:
+		body = encodeSparseInto((*scratch)[:0], b)
+	}
+	*scratch = body
+	rawLen := len(body)
+
+	start := len(dst)
+	dst = slices.Grow(dst, headerSize+len(body))
+	var hdr [headerSize]byte
+	dst = append(dst, hdr[:]...)
+	dst, err := opts.Codec.AppendCompress(dst, body)
+	bodyPool.Put(scratch)
 	if err != nil {
 		return nil, Encoding{}, fmt.Errorf("comm: compressing body: %w", err)
 	}
 
-	msg := make([]byte, headerSize+len(compressed))
+	msg := dst[start:]
+	compressed := msg[headerSize:]
 	msg[0] = magicByte
 	msg[1] = uint8(mode) | uint8(opts.Codec)<<4
 	binary.LittleEndian.PutUint32(msg[2:], b.TileID)
@@ -170,9 +194,8 @@ func Encode(b *Batch, opts Options) ([]byte, Encoding, error) {
 	binary.LittleEndian.PutUint32(msg[14:], uint32(len(b.Updates)))
 	binary.LittleEndian.PutUint32(msg[18:], uint32(len(compressed)))
 	binary.LittleEndian.PutUint32(msg[22:], crc32.ChecksumIEEE(compressed))
-	copy(msg[headerSize:], compressed)
 
-	return msg, Encoding{Mode: mode, Codec: opts.Codec, RawBytes: rawLen, WireBytes: len(msg)}, nil
+	return dst, Encoding{Mode: mode, Codec: opts.Codec, RawBytes: rawLen, WireBytes: len(msg)}, nil
 }
 
 func validateBatch(b *Batch) error {
@@ -192,11 +215,19 @@ func validateBatch(b *Batch) error {
 	return nil
 }
 
-// encodeDense writes bitvector + full value range ("sends many zeros").
-func encodeDense(b *Batch) []byte {
+// encodeDenseInto writes bitvector + full value range ("sends many zeros")
+// into body's spare capacity, growing it only when a larger range than any
+// previous batch comes through.
+func encodeDenseInto(body []byte, b *Batch) []byte {
 	n := int(b.Hi - b.Lo)
 	bvLen := (n + 7) / 8
-	body := make([]byte, bvLen+8*n)
+	total := bvLen + 8*n
+	if cap(body) < total {
+		body = make([]byte, total)
+	} else {
+		body = body[:total]
+		clear(body)
+	}
 	for _, u := range b.Updates {
 		local := int(u.ID - b.Lo)
 		body[local/8] |= 1 << (local % 8)
@@ -205,9 +236,15 @@ func encodeDense(b *Batch) []byte {
 	return body
 }
 
-// encodeSparse writes (local index, value) pairs.
-func encodeSparse(b *Batch) []byte {
-	body := make([]byte, 12*len(b.Updates))
+// encodeSparseInto writes (local index, value) pairs into body's spare
+// capacity.
+func encodeSparseInto(body []byte, b *Batch) []byte {
+	total := 12 * len(b.Updates)
+	if cap(body) < total {
+		body = make([]byte, total)
+	} else {
+		body = body[:total]
+	}
 	for i, u := range b.Updates {
 		binary.LittleEndian.PutUint32(body[12*i:], u.ID-b.Lo)
 		binary.LittleEndian.PutUint64(body[12*i+4:], math.Float64bits(u.Value))
@@ -217,44 +254,72 @@ func encodeSparse(b *Batch) []byte {
 
 // Decode parses a message produced by Encode.
 func Decode(msg []byte) (*Batch, Encoding, error) {
+	b := new(Batch)
+	enc, err := DecodeInto(b, msg)
+	if err != nil {
+		return nil, Encoding{}, err
+	}
+	return b, enc, nil
+}
+
+// DecodeInto parses a message produced by Encode into b, reusing b's update
+// slice when its capacity suffices — the receive loop decodes every foreign
+// batch of a superstep into one reused Batch this way. On error b's contents
+// are unspecified. The decoded batch never aliases msg.
+func DecodeInto(b *Batch, msg []byte) (Encoding, error) {
 	if len(msg) < headerSize {
-		return nil, Encoding{}, fmt.Errorf("comm: message too short (%d bytes)", len(msg))
+		return Encoding{}, fmt.Errorf("comm: message too short (%d bytes)", len(msg))
 	}
 	if msg[0] != magicByte {
-		return nil, Encoding{}, fmt.Errorf("comm: bad magic %#x", msg[0])
+		return Encoding{}, fmt.Errorf("comm: bad magic %#x", msg[0])
 	}
 	mode := WireMode(msg[1] & 0x0F)
 	codec := compress.Mode(msg[1] >> 4)
 	if mode != DenseMode && mode != SparseMode {
-		return nil, Encoding{}, fmt.Errorf("comm: unknown wire mode %d", mode)
+		return Encoding{}, fmt.Errorf("comm: unknown wire mode %d", mode)
 	}
 	if !codec.Valid() {
-		return nil, Encoding{}, fmt.Errorf("comm: unknown codec %d", int(codec))
+		return Encoding{}, fmt.Errorf("comm: unknown codec %d", int(codec))
 	}
-	b := &Batch{
-		TileID: binary.LittleEndian.Uint32(msg[2:]),
-		Lo:     binary.LittleEndian.Uint32(msg[6:]),
-		Hi:     binary.LittleEndian.Uint32(msg[10:]),
-	}
+	b.TileID = binary.LittleEndian.Uint32(msg[2:])
+	b.Lo = binary.LittleEndian.Uint32(msg[6:])
+	b.Hi = binary.LittleEndian.Uint32(msg[10:])
+	b.Updates = b.Updates[:0]
 	count := binary.LittleEndian.Uint32(msg[14:])
 	bodyLen := binary.LittleEndian.Uint32(msg[18:])
 	if b.Hi < b.Lo {
-		return nil, Encoding{}, fmt.Errorf("comm: inverted range [%d,%d)", b.Lo, b.Hi)
+		return Encoding{}, fmt.Errorf("comm: inverted range [%d,%d)", b.Lo, b.Hi)
 	}
 	if uint64(len(msg)) != uint64(headerSize)+uint64(bodyLen) {
-		return nil, Encoding{}, fmt.Errorf("comm: message length %d, header says %d", len(msg), headerSize+int(bodyLen))
+		return Encoding{}, fmt.Errorf("comm: message length %d, header says %d", len(msg), headerSize+int(bodyLen))
 	}
 	if count > b.Hi-b.Lo {
-		return nil, Encoding{}, fmt.Errorf("comm: %d updates exceed range size %d", count, b.Hi-b.Lo)
+		return Encoding{}, fmt.Errorf("comm: %d updates exceed range size %d", count, b.Hi-b.Lo)
 	}
 	wantCRC := binary.LittleEndian.Uint32(msg[22:])
 	if got := crc32.ChecksumIEEE(msg[headerSize:]); got != wantCRC {
-		return nil, Encoding{}, fmt.Errorf("comm: body checksum mismatch (got %#x want %#x)", got, wantCRC)
+		return Encoding{}, fmt.Errorf("comm: body checksum mismatch (got %#x want %#x)", got, wantCRC)
 	}
-	body, err := codec.Decompress(msg[headerSize:])
-	if err != nil {
-		return nil, Encoding{}, fmt.Errorf("comm: decompressing body: %w", err)
+	var body []byte
+	var scratch *[]byte
+	if codec == compress.None {
+		// The raw codec is the identity: parse straight out of the message.
+		body = msg[headerSize:]
+	} else {
+		scratch = bodyPool.Get().(*[]byte)
+		var err error
+		body, err = codec.AppendDecompress((*scratch)[:0], msg[headerSize:])
+		if err != nil {
+			bodyPool.Put(scratch)
+			return Encoding{}, fmt.Errorf("comm: decompressing body: %w", err)
+		}
+		*scratch = body
 	}
+	defer func() {
+		if scratch != nil {
+			bodyPool.Put(scratch)
+		}
+	}()
 
 	enc := Encoding{Mode: mode, Codec: codec, RawBytes: len(body), WireBytes: len(msg)}
 	n := int(b.Hi - b.Lo)
@@ -262,9 +327,14 @@ func Decode(msg []byte) (*Batch, Encoding, error) {
 	case DenseMode:
 		bvLen := (n + 7) / 8
 		if len(body) != bvLen+8*n {
-			return nil, Encoding{}, fmt.Errorf("comm: dense body %d bytes, want %d", len(body), bvLen+8*n)
+			return Encoding{}, fmt.Errorf("comm: dense body %d bytes, want %d", len(body), bvLen+8*n)
 		}
-		b.Updates = make([]Update, 0, count)
+		// Grow only after the body-size check above: count comes from the
+		// header, which the CRC does not cover, so it must not drive an
+		// allocation until the body has bounded it.
+		if cap(b.Updates) < int(count) {
+			b.Updates = make([]Update, 0, count)
+		}
 		for local := 0; local < n; local++ {
 			if body[local/8]&(1<<(local%8)) == 0 {
 				continue
@@ -276,24 +346,27 @@ func Decode(msg []byte) (*Batch, Encoding, error) {
 			})
 		}
 		if uint32(len(b.Updates)) != count {
-			return nil, Encoding{}, fmt.Errorf("comm: dense bitvector has %d updates, header says %d", len(b.Updates), count)
+			return Encoding{}, fmt.Errorf("comm: dense bitvector has %d updates, header says %d", len(b.Updates), count)
 		}
 	case SparseMode:
 		if len(body) != 12*int(count) {
-			return nil, Encoding{}, fmt.Errorf("comm: sparse body %d bytes, want %d", len(body), 12*int(count))
+			return Encoding{}, fmt.Errorf("comm: sparse body %d bytes, want %d", len(body), 12*int(count))
 		}
-		b.Updates = make([]Update, count)
+		if cap(b.Updates) < int(count) {
+			b.Updates = make([]Update, count)
+		}
+		b.Updates = b.Updates[:count]
 		for i := range b.Updates {
 			local := binary.LittleEndian.Uint32(body[12*i:])
 			if local >= uint32(n) {
-				return nil, Encoding{}, fmt.Errorf("comm: sparse index %d outside range size %d", local, n)
+				return Encoding{}, fmt.Errorf("comm: sparse index %d outside range size %d", local, n)
 			}
 			bits := binary.LittleEndian.Uint64(body[12*i+4:])
 			b.Updates[i] = Update{ID: b.Lo + local, Value: math.Float64frombits(bits)}
 		}
 	}
 	if err := validateBatch(b); err != nil {
-		return nil, Encoding{}, err
+		return Encoding{}, err
 	}
-	return b, enc, nil
+	return enc, nil
 }

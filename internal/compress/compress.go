@@ -10,6 +10,7 @@ import (
 	"compress/zlib"
 	"fmt"
 	"io"
+	"slices"
 
 	"repro/internal/snappy"
 )
@@ -86,20 +87,33 @@ func (m Mode) ExpectedRatio() float64 {
 // self-contained: Decompress recovers src exactly without knowing the
 // original length.
 func (m Mode) Compress(src []byte) ([]byte, error) {
+	return m.AppendCompress(nil, src)
+}
+
+// AppendCompress appends the compressed form of src to dst and returns the
+// extended slice. When dst has enough spare capacity no allocation occurs —
+// the per-superstep wire path reuses one buffer per worker this way. dst and
+// src must not overlap.
+func (m Mode) AppendCompress(dst, src []byte) ([]byte, error) {
 	switch m {
 	case None:
-		out := make([]byte, len(src))
-		copy(out, src)
-		return out, nil
+		return append(dst, src...), nil
 	case Snappy:
-		return snappy.Encode(nil, src), nil
+		bound := snappy.MaxEncodedLen(len(src))
+		if bound < 0 {
+			return nil, fmt.Errorf("compress: snappy input too large (%d bytes)", len(src))
+		}
+		off := len(dst)
+		dst = slices.Grow(dst, bound)
+		enc := snappy.Encode(dst[off:off+bound], src)
+		return dst[:off+len(enc)], nil
 	case Zlib1, Zlib3:
 		level := 1
 		if m == Zlib3 {
 			level = 3
 		}
-		var buf bytes.Buffer
-		zw, err := zlib.NewWriterLevel(&buf, level)
+		w := appendWriter{buf: dst}
+		zw, err := zlib.NewWriterLevel(&w, level)
 		if err != nil {
 			return nil, fmt.Errorf("compress: %s writer: %w", m, err)
 		}
@@ -109,7 +123,7 @@ func (m Mode) Compress(src []byte) ([]byte, error) {
 		if err := zw.Close(); err != nil {
 			return nil, fmt.Errorf("compress: %s close: %w", m, err)
 		}
-		return buf.Bytes(), nil
+		return w.buf, nil
 	default:
 		return nil, fmt.Errorf("compress: invalid mode %d", int(m))
 	}
@@ -117,27 +131,51 @@ func (m Mode) Compress(src []byte) ([]byte, error) {
 
 // Decompress decodes data produced by Compress with the same mode.
 func (m Mode) Decompress(data []byte) ([]byte, error) {
+	return m.AppendDecompress(nil, data)
+}
+
+// AppendDecompress appends the decompressed form of data to dst and returns
+// the extended slice, reusing dst's spare capacity when it suffices. dst and
+// data must not overlap.
+func (m Mode) AppendDecompress(dst, data []byte) ([]byte, error) {
 	switch m {
 	case None:
-		out := make([]byte, len(data))
-		copy(out, data)
-		return out, nil
+		return append(dst, data...), nil
 	case Snappy:
-		return snappy.Decode(nil, data)
+		dLen, err := snappy.DecodedLen(data)
+		if err != nil {
+			return nil, err
+		}
+		off := len(dst)
+		dst = slices.Grow(dst, dLen)
+		out, err := snappy.Decode(dst[off:off+dLen], data)
+		if err != nil {
+			return nil, err
+		}
+		return dst[:off+len(out)], nil
 	case Zlib1, Zlib3:
 		zr, err := zlib.NewReader(bytes.NewReader(data))
 		if err != nil {
 			return nil, fmt.Errorf("compress: %s reader: %w", m, err)
 		}
 		defer zr.Close()
-		out, err := io.ReadAll(zr)
-		if err != nil {
+		w := appendWriter{buf: dst}
+		if _, err := io.Copy(&w, zr); err != nil {
 			return nil, fmt.Errorf("compress: %s read: %w", m, err)
 		}
-		return out, nil
+		return w.buf, nil
 	default:
 		return nil, fmt.Errorf("compress: invalid mode %d", int(m))
 	}
+}
+
+// appendWriter adapts an append-to-slice destination to io.Writer for the
+// zlib paths.
+type appendWriter struct{ buf []byte }
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
 }
 
 // Valid reports whether m is a defined codec.

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -121,6 +122,7 @@ func New(cfg Config) *Engine { return &Engine{cfg: cfg.normalized()} }
 // the tile body itself lives on local disk and in the edge cache.
 type tileMeta struct {
 	id       int
+	blob     string // precomputed store name, hot-path reads avoid Sprintf
 	lo, hi   uint32
 	encBytes int64
 	filter   interface {
@@ -204,14 +206,14 @@ func (e *Engine) Run(in Input, prog Program) (*Result, error) {
 	return res, nil
 }
 
-var atomicMaxMu sync.Mutex
-
+// atomicMax lock-freely raises *dst to v if v is larger.
 func atomicMax(dst *int64, v int64) {
-	atomicMaxMu.Lock()
-	if v > *dst {
-		*dst = v
+	for {
+		cur := atomic.LoadInt64(dst)
+		if v <= cur || atomic.CompareAndSwapInt64(dst, cur, v) {
+			return
+		}
 	}
-	atomicMaxMu.Unlock()
 }
 
 // prepareInput normalizes the two input kinds into a graph descriptor, the
@@ -227,15 +229,12 @@ func prepareInput(in Input) (*Graph, int, func(i int) ([]byte, error), error) {
 			InDeg:       p.InDeg,
 			Weighted:    p.Weighted,
 		}
-		// Pre-encode each tile once; servers fetch only their own.
+		// Pre-encode each tile once, guarded per tile rather than by one
+		// global lock, so the servers' setup fetches encode concurrently.
 		encoded := make([][]byte, p.NumTiles())
-		var once sync.Mutex
+		onces := make([]sync.Once, p.NumTiles())
 		fetch := func(i int) ([]byte, error) {
-			once.Lock()
-			defer once.Unlock()
-			if encoded[i] == nil {
-				encoded[i] = p.Tiles[i].Encode()
-			}
+			onces[i].Do(func() { encoded[i] = p.Tiles[i].Encode() })
 			return encoded[i], nil
 		}
 		return g, p.NumTiles(), fetch, nil
@@ -276,6 +275,26 @@ type server struct {
 	cache *cache.Cache
 	metas []*tileMeta
 	state *vertexState
+
+	// Steady-state scratch, sized once in setup so the superstep loop
+	// allocates O(changed vertices), not O(edges):
+	// one workerScratch per worker, one update buffer and outcome slot per
+	// tile, and one reused batch for decoding received broadcasts.
+	scratch   []*workerScratch
+	outs      []tileOut
+	updBufs   [][]comm.Update
+	recvBatch comm.Batch
+}
+
+// workerScratch is one worker's reusable memory for the superstep hot path:
+// decoded-tile storage for cache misses and compressed-cache hits, the
+// local-disk read buffer, the outgoing wire buffer, and the batch header
+// handed to the encoder.
+type workerScratch struct {
+	tile  csr.Tile
+	disk  []byte
+	wire  []byte
+	batch comm.Batch
 }
 
 func tileBlobName(i int) string { return fmt.Sprintf("tiles/%05d", i) }
@@ -283,6 +302,11 @@ func tileBlobName(i int) string { return fmt.Sprintf("tiles/%05d", i) }
 // run executes setup, the superstep loop and final result collection for
 // one server, returning its per-step stats.
 func (s *server) run() (setupDur, loopDur time.Duration, steps []StepStats, err error) {
+	defer func() {
+		if s.store != nil {
+			s.store.Close() // release cached tile-read descriptors
+		}
+	}()
 	setupStart := time.Now()
 	if err := s.setup(); err != nil {
 		return 0, 0, nil, err
@@ -323,6 +347,7 @@ func (s *server) setup() error {
 		memberSet = make(map[uint32]struct{})
 	}
 	var bloomBytes int64
+	var tl csr.Tile // reused across tiles; only the filter is retained
 	for _, i := range s.tiles {
 		enc, err := s.fetch(i)
 		if err != nil {
@@ -331,26 +356,33 @@ func (s *server) setup() error {
 		if err := s.store.Write(tileBlobName(i), enc); err != nil {
 			return err
 		}
-		t, err := csr.Decode(enc)
-		if err != nil {
+		if err := csr.DecodeInto(&tl, enc); err != nil {
 			return fmt.Errorf("core: server %d decoding tile %d: %w", s.node.ID(), i, err)
 		}
-		meta := &tileMeta{id: i, lo: t.TargetLo, hi: t.TargetHi, encBytes: int64(len(enc))}
-		if t.Filter != nil {
-			meta.filter = t.Filter
-			bloomBytes += int64(t.Filter.SizeBytes())
+		meta := &tileMeta{id: i, blob: tileBlobName(i), lo: tl.TargetLo, hi: tl.TargetHi, encBytes: int64(len(enc))}
+		if tl.Filter != nil {
+			meta.filter = tl.Filter
+			bloomBytes += int64(tl.Filter.SizeBytes())
+			tl.Filter = nil // meta owns it now; the next decode allocates anew
 		}
 		s.metas = append(s.metas, meta)
 		totalEnc += int64(len(enc))
 		if memberSet != nil {
-			for v := t.TargetLo; v < t.TargetHi; v++ {
+			for v := tl.TargetLo; v < tl.TargetHi; v++ {
 				memberSet[v] = struct{}{}
 			}
-			for _, src := range t.Col {
+			for _, src := range tl.Col {
 				memberSet[src] = struct{}{}
 			}
 		}
 	}
+
+	s.scratch = make([]*workerScratch, s.cfg.WorkersPerServer)
+	for w := range s.scratch {
+		s.scratch[w] = new(workerScratch)
+	}
+	s.outs = make([]tileOut, len(s.metas))
+	s.updBufs = make([][]comm.Update, len(s.metas))
 
 	capacity := s.cfg.CacheCapacity
 	switch {
@@ -399,24 +431,28 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 
 	var steps []StepStats
 	var prevUpdated []uint32 // nil = unknown or too many: process all tiles
+	// updatedBuf backs the per-step updated-vertex list. One buffer is
+	// enough: the workers read prevUpdated only before wg.Wait, and the next
+	// step's list is rebuilt from [:0] strictly after that.
+	var updatedBuf []uint32
 
 	for step := 0; step < s.cfg.MaxSupersteps; step++ {
 		stepStart := time.Now()
 		st := StepStats{Superstep: step}
 
 		// Parallel tile processing on T workers (OpenMP pragma analog).
-		outs := make([]tileOut, len(s.metas))
+		outs := s.outs
 		var broadcastMu sync.Mutex
 		work := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < s.cfg.WorkersPerServer; w++ {
 			wg.Add(1)
-			go func() {
+			go func(scr *workerScratch) {
 				defer wg.Done()
 				for k := range work {
-					outs[k] = s.processTile(k, step, prevUpdated, encOpts, &broadcastMu)
+					outs[k] = s.processTile(k, step, prevUpdated, encOpts, &broadcastMu, scr)
 				}
-			}()
+			}(s.scratch[w])
 		}
 		for k := range s.metas {
 			work <- k
@@ -425,7 +461,7 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 		wg.Wait()
 
 		updatedTotal := 0
-		var newUpdated []uint32
+		newUpdated := updatedBuf[:0]
 		overLimit := false
 		absorb := func(ups []comm.Update) {
 			for _, u := range ups {
@@ -438,7 +474,7 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 				}
 				if len(newUpdated) > s.cfg.BloomCheckLimit {
 					overLimit = true
-					newUpdated = nil
+					newUpdated = newUpdated[:0] // keep the buffer for reuse
 				}
 			}
 		}
@@ -465,18 +501,18 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 		}
 
 		// Receive one batch per foreign tile and apply it (the Broadcast
-		// leg of GAB, receiver side).
+		// leg of GAB, receiver side). Every batch decodes into one reused
+		// Batch value.
 		if n.NumNodes() > 1 {
 			msgs, _, err := n.RecvN(expected)
 			if err != nil {
 				return nil, err
 			}
 			for _, m := range msgs {
-				b, _, err := comm.Decode(m)
-				if err != nil {
+				if _, err := comm.DecodeInto(&s.recvBatch, m); err != nil {
 					return nil, fmt.Errorf("core: server %d decoding update batch: %w", n.ID(), err)
 				}
-				absorb(b.Updates)
+				absorb(s.recvBatch.Updates)
 			}
 		}
 
@@ -488,6 +524,7 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 		if updatedTotal == 0 {
 			break
 		}
+		updatedBuf = newUpdated
 		prevUpdated = newUpdated
 		if overLimit {
 			prevUpdated = nil
@@ -507,7 +544,10 @@ type tileOut struct {
 // processTile runs gather+apply over one tile and broadcasts the resulting
 // update batch (Algorithm 5 lines 8–16). Even skipped and empty tiles
 // broadcast a batch so receivers know exactly how many messages to expect.
-func (s *server) processTile(k, step int, prevUpdated []uint32, encOpts comm.Options, bmu *sync.Mutex) (out tileOut) {
+// All per-tile working memory — the update list, the decoded tile, the disk
+// read buffer and the wire buffer — is reused across supersteps, so in
+// steady state this path allocates nothing.
+func (s *server) processTile(k, step int, prevUpdated []uint32, encOpts comm.Options, bmu *sync.Mutex, scr *workerScratch) (out tileOut) {
 	meta := s.metas[k]
 	g := s.graph
 	prog := s.prog
@@ -519,14 +559,21 @@ func (s *server) processTile(k, step int, prevUpdated []uint32, encOpts comm.Opt
 			skip = true
 		}
 	}
-	var updates []comm.Update
+	updates := s.updBufs[k][:0]
 	if !skip {
-		t, err := s.cache.GetOrLoad(meta.id, func() (*csr.Tile, error) {
-			data, err := s.store.Read(tileBlobName(meta.id))
+		t, err := s.cache.GetOrLoadInto(meta.id, &scr.tile, func(dst *csr.Tile) (*csr.Tile, error) {
+			data, err := s.store.ReadInto(meta.blob, scr.disk[:0])
 			if err != nil {
 				return nil, err
 			}
-			return csr.Decode(data)
+			scr.disk = data[:0] // keep (possibly grown) buffer for the next load
+			if dst == nil {
+				return csr.Decode(data)
+			}
+			if err := csr.DecodeInto(dst, data); err != nil {
+				return nil, err
+			}
+			return dst, nil
 		})
 		if err != nil {
 			out.err = fmt.Errorf("core: server %d loading tile %d: %w", s.node.ID(), meta.id, err)
@@ -551,18 +598,22 @@ func (s *server) processTile(k, step int, prevUpdated []uint32, encOpts comm.Opt
 			}
 		}
 	}
+	s.updBufs[k] = updates
 	out.updates = updates
 	out.skipped = skip
 
-	batch := &comm.Batch{TileID: uint32(meta.id), Lo: meta.lo, Hi: meta.hi, Updates: updates}
-	msg, enc, err := comm.Encode(batch, encOpts)
+	scr.batch = comm.Batch{TileID: uint32(meta.id), Lo: meta.lo, Hi: meta.hi, Updates: updates}
+	msg, enc, err := comm.AppendEncode(scr.wire[:0], &scr.batch, encOpts)
 	if err != nil {
 		out.err = err
 		return out
 	}
+	scr.wire = msg
 	out.enc = enc
 	// Broadcast serializes per server: the paper's workers also funnel
-	// through one NIC. This also keeps cluster.Node usage single-writer.
+	// through one NIC; both transports finish with the buffer before Send
+	// returns, so the wire buffer is free for the worker's next tile. This
+	// also keeps cluster.Node usage single-writer.
 	bmu.Lock()
 	err = s.node.Broadcast(msg)
 	bmu.Unlock()

@@ -1,0 +1,179 @@
+package core
+
+// White-box regression tests for the allocation-free superstep hot path:
+// once a server is warm (tiles cached or declined, scratch buffers grown),
+// processTile must allocate O(changed vertices) per superstep — in practice
+// a small constant — not O(edges).
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/comm"
+	"repro/internal/compress"
+	"repro/internal/graph"
+	"repro/internal/racedetect"
+	"repro/internal/tile"
+)
+
+// smoothProg is a minimal Program whose values keep changing every
+// superstep, so updates are always produced and broadcast.
+type smoothProg struct{}
+
+func (smoothProg) Name() string                         { return "smooth" }
+func (smoothProg) InitValue(v uint32, g *Graph) float64 { return float64(v%17) + 1 }
+func (smoothProg) InitAccum() float64                   { return 0 }
+func (smoothProg) Gather(acc float64, src uint32, srcVal, w float64, g *Graph) float64 {
+	return acc + srcVal*w
+}
+func (smoothProg) Apply(v uint32, acc, old float64, g *Graph) float64 {
+	return old*0.5 + acc*0.25 + 0.125
+}
+
+// newWarmServer builds a single-node server over a small RMAT partition,
+// runs setup and two full warm-up sweeps, and returns it ready for
+// measurement along with its tile count.
+func newWarmServer(t *testing.T, mutate func(*Config)) (*server, comm.Options, func()) {
+	t.Helper()
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 512, 4096, 9)
+	p, err := tile.Split(el, tile.Options{TileSize: el.NumEdges()/8 + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1)
+	cfg.WorkersPerServer = 1
+	cfg.WorkDir = t.TempDir()
+	cfg.CacheAuto = false
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	cfg = cfg.normalized()
+
+	g, numTiles, fetch, err := prepareInput(Input{Partition: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := tile.Assign(numTiles, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.Config{NumNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &Result{
+		Values:  make([]float64, g.NumVertices),
+		Servers: make([]ServerStats, 1),
+	}
+	sv := &server{
+		cfg:    cfg,
+		node:   cl.Node(0),
+		graph:  g,
+		fetch:  fetch,
+		tiles:  assign.TilesOf[0],
+		total:  numTiles,
+		prog:   smoothProg{},
+		work:   cfg.WorkDir,
+		result: res,
+	}
+	if err := sv.setup(); err != nil {
+		cl.Close()
+		t.Fatal(err)
+	}
+	encOpts := comm.Options{Choice: cfg.Comm, Codec: cfg.MsgCodec}
+
+	// Two warm-up sweeps: the first populates (or fills) the cache and sizes
+	// every scratch buffer; the second settles pool state.
+	var mu sync.Mutex
+	scr := sv.scratch[0]
+	for step := 0; step < 2; step++ {
+		for k := range sv.metas {
+			if out := sv.processTile(k, step, nil, encOpts, &mu, scr); out.err != nil {
+				cl.Close()
+				t.Fatal(out.err)
+			}
+			for _, u := range sv.updBufs[k] {
+				sv.state.set(u.ID, u.Value)
+			}
+		}
+	}
+	return sv, encOpts, func() { cl.Close() }
+}
+
+// measureSweepAllocs returns the average allocations of one full sweep over
+// the server's tiles (one superstep's worth of processTile calls).
+func measureSweepAllocs(t *testing.T, sv *server, encOpts comm.Options) float64 {
+	t.Helper()
+	var mu sync.Mutex
+	scr := sv.scratch[0]
+	step := 2
+	return testing.AllocsPerRun(10, func() {
+		for k := range sv.metas {
+			if out := sv.processTile(k, step, nil, encOpts, &mu, scr); out.err != nil {
+				t.Fatal(out.err)
+			}
+			for _, u := range sv.updBufs[k] {
+				sv.state.set(u.ID, u.Value)
+			}
+		}
+		step++
+	})
+}
+
+// TestProcessTileSteadyStateAllocs covers the cache configurations of the
+// hot path: unlimited raw cache (hits return cached tiles), unlimited snappy
+// cache (hits decode into worker scratch), tiny raw cache (declined
+// admissions decode into scratch), and no cache at all (every load reads
+// disk into scratch). In every configuration a warm sweep over all tiles
+// must stay under a small constant allocation budget — independent of edge
+// count.
+func TestProcessTileSteadyStateAllocs(t *testing.T) {
+	if racedetect.Enabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		budget float64
+	}{
+		{"raw-cache-unlimited", func(c *Config) { c.CacheMode = compress.None }, 0},
+		{"snappy-cache-unlimited", func(c *Config) { c.CacheMode = compress.Snappy }, 0},
+		{"raw-cache-tiny", func(c *Config) { c.CacheMode = compress.None; c.CacheCapacity = 128 }, 0},
+		{"cache-disabled", func(c *Config) { c.CacheCapacity = -1 }, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sv, encOpts, cleanup := newWarmServer(t, tc.mutate)
+			defer cleanup()
+			allocs := measureSweepAllocs(t, sv, encOpts)
+			if allocs > tc.budget {
+				t.Errorf("steady-state sweep allocates %.1f times over %d tiles, want ≤ %.0f",
+					allocs, len(sv.metas), tc.budget)
+			}
+		})
+	}
+}
+
+// TestAtomicMax exercises the CAS loop under contention.
+func TestAtomicMax(t *testing.T) {
+	var v int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				atomicMax(&v, int64(g*1000+i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v != 7999 {
+		t.Fatalf("atomicMax converged to %d, want 7999", v)
+	}
+	atomicMax(&v, 5)
+	if v != 7999 {
+		t.Fatalf("atomicMax lowered the value to %d", v)
+	}
+}

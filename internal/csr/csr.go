@@ -14,9 +14,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"math"
+	"slices"
 
 	"repro/internal/bloom"
+	"repro/internal/wordcodec"
 )
 
 // Tile holds the in-edges of the target-vertex range [TargetLo, TargetHi).
@@ -38,6 +39,30 @@ type Tile struct {
 	Val []float32
 	// Filter is the Bloom filter over the distinct source vertices in Col.
 	Filter *bloom.Filter
+
+	// backing is DecodeInto's combined row+col storage: both arrays are
+	// adjacent in the encoded body, so one bulk copy fills them, and reuse
+	// settles at the largest tile seen instead of reallocating whenever
+	// shapes alternate. Tiles built field-by-field leave it nil.
+	backing []uint32
+}
+
+// Clone returns a deep copy of the tile that owns all of its storage —
+// required before retaining a tile that was decoded into reusable scratch.
+func (t *Tile) Clone() *Tile {
+	c := &Tile{
+		ID:          t.ID,
+		TargetLo:    t.TargetLo,
+		TargetHi:    t.TargetHi,
+		NumVertices: t.NumVertices,
+		Row:         slices.Clone(t.Row),
+		Col:         slices.Clone(t.Col),
+		Val:         slices.Clone(t.Val),
+	}
+	if t.Filter != nil {
+		c.Filter = t.Filter.Clone()
+	}
+	return c
 }
 
 // NumTargets returns the number of target vertices covered by the tile.
@@ -75,16 +100,69 @@ func (t *Tile) SizeBytes() int64 {
 // BuildFilter (re)builds the tile's source-vertex Bloom filter at the given
 // false-positive rate.
 func (t *Tile) BuildFilter(fpRate float64) {
-	// Deduplicate sources first so the filter is sized for the distinct set.
-	seen := make(map[uint32]struct{}, len(t.Col))
-	for _, s := range t.Col {
-		seen[s] = struct{}{}
+	// Deduplicate sources first so the filter is sized for the distinct set:
+	// radix-sort a copy and skip repeats, which beats a map by a wide margin
+	// at tile sizes and allocates nothing beyond two scratch slices.
+	sorted := make([]uint32, len(t.Col))
+	copy(sorted, t.Col)
+	radixSortUint32(sorted)
+	distinct := 0
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			distinct++
+		}
 	}
-	f := bloom.New(len(seen), fpRate)
-	for s := range seen {
-		f.Add(s)
+	f := bloom.New(distinct, fpRate)
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			f.Add(s)
+		}
 	}
 	t.Filter = f
+}
+
+// radixSortUint32 sorts a in place with a 4-pass LSD byte radix sort,
+// skipping passes whose byte is constant across the keys (always the high
+// bytes for tiles over small vertex ranges). Far faster than a comparison
+// sort on the uniform-ish source ids of a tile.
+func radixSortUint32(a []uint32) {
+	// Below this size the counting passes dominate; fall back.
+	if len(a) < 512 {
+		slices.Sort(a)
+		return
+	}
+	var counts [4][256]int
+	for _, v := range a {
+		counts[0][byte(v)]++
+		counts[1][byte(v>>8)]++
+		counts[2][byte(v>>16)]++
+		counts[3][byte(v>>24)]++
+	}
+	scratch := make([]uint32, len(a))
+	src, dst := a, scratch
+	for pass := 0; pass < 4; pass++ {
+		c := &counts[pass]
+		shift := 8 * pass
+		uniform := c[byte(src[0]>>shift)] == len(a)
+		if uniform {
+			continue
+		}
+		var offs [256]int
+		sum := 0
+		for i, n := range c {
+			offs[i] = sum
+			sum += n
+		}
+		for _, v := range src {
+			b := byte(v >> shift)
+			dst[offs[b]] = v
+			offs[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
 }
 
 // Validate checks the structural invariants of the tile.
@@ -129,78 +207,110 @@ const (
 	flagFilter   = 1 << 1
 )
 
-// Encode serializes the tile to its binary on-disk form: a fixed header,
-// optional Bloom filter, the row/col/val arrays, and a trailing CRC-32 over
-// everything before it.
-func (t *Tile) Encode() []byte {
-	var filterEnc []byte
+// EncodedSize returns the exact length of the tile's binary form.
+func (t *Tile) EncodedSize() int {
+	size := 32 + len(t.Row)*4 + len(t.Col)*4 + 4
 	if t.Filter != nil {
-		filterEnc = t.Filter.Encode()
+		size += t.Filter.EncodedSize()
 	}
-	size := 32 + len(filterEnc) + len(t.Row)*4 + len(t.Col)*4 + 4
 	if t.Val != nil {
 		size += len(t.Val) * 4
 	}
-	buf := make([]byte, size)
-	binary.LittleEndian.PutUint32(buf[0:], tileMagic)
-	binary.LittleEndian.PutUint32(buf[4:], t.ID)
-	binary.LittleEndian.PutUint32(buf[8:], t.TargetLo)
-	binary.LittleEndian.PutUint32(buf[12:], t.TargetHi)
-	binary.LittleEndian.PutUint32(buf[16:], t.NumVertices)
-	binary.LittleEndian.PutUint32(buf[20:], uint32(len(t.Col)))
+	return size
+}
+
+// AppendEncode appends the tile's binary on-disk form to dst and returns the
+// extended slice: a fixed header, optional Bloom filter, the row/col/val
+// arrays, and a trailing CRC-32 over everything before it. The arrays are
+// written with bulk word conversion, so encoding cost is a handful of
+// memmoves plus the checksum.
+func (t *Tile) AppendEncode(dst []byte) []byte {
+	start := len(dst)
+	dst = slices.Grow(dst, t.EncodedSize())
+
+	var hdr [32]byte
+	binary.LittleEndian.PutUint32(hdr[0:], tileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], t.ID)
+	binary.LittleEndian.PutUint32(hdr[8:], t.TargetLo)
+	binary.LittleEndian.PutUint32(hdr[12:], t.TargetHi)
+	binary.LittleEndian.PutUint32(hdr[16:], t.NumVertices)
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(len(t.Col)))
 	var flags uint32
 	if t.Val != nil {
 		flags |= flagWeighted
 	}
+	var filterLen int
 	if t.Filter != nil {
 		flags |= flagFilter
+		filterLen = t.Filter.EncodedSize()
 	}
-	binary.LittleEndian.PutUint32(buf[24:], flags)
-	binary.LittleEndian.PutUint32(buf[28:], uint32(len(filterEnc)))
-	off := 32
-	off += copy(buf[off:], filterEnc)
-	for _, r := range t.Row {
-		binary.LittleEndian.PutUint32(buf[off:], r)
-		off += 4
+	binary.LittleEndian.PutUint32(hdr[24:], flags)
+	binary.LittleEndian.PutUint32(hdr[28:], uint32(filterLen))
+	dst = append(dst, hdr[:]...)
+	if t.Filter != nil {
+		dst = t.Filter.AppendEncode(dst)
 	}
-	for _, c := range t.Col {
-		binary.LittleEndian.PutUint32(buf[off:], c)
-		off += 4
-	}
+
+	off := len(dst)
+	arrays := len(t.Row)*4 + len(t.Col)*4
 	if t.Val != nil {
-		for _, v := range t.Val {
-			binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
-			off += 4
-		}
+		arrays += len(t.Val) * 4
 	}
-	binary.LittleEndian.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[:off]))
-	return buf
+	dst = dst[:off+arrays]
+	wordcodec.PutUint32s(dst[off:], t.Row)
+	off += len(t.Row) * 4
+	wordcodec.PutUint32s(dst[off:], t.Col)
+	off += len(t.Col) * 4
+	if t.Val != nil {
+		wordcodec.PutFloat32s(dst[off:], t.Val)
+	}
+
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(dst[start:]))
+	return append(dst, crc[:]...)
+}
+
+// Encode serializes the tile to its binary on-disk form.
+func (t *Tile) Encode() []byte {
+	return t.AppendEncode(make([]byte, 0, t.EncodedSize()))
 }
 
 // Decode parses a tile encoded by Encode, verifying the checksum and all
 // structural invariants. It returns a descriptive error on any corruption.
 func Decode(data []byte) (*Tile, error) {
+	t := new(Tile)
+	if err := DecodeInto(t, data); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// DecodeInto parses a tile encoded by Encode into t, verifying the checksum
+// and all structural invariants. It reuses t's row/col/val arrays and Bloom
+// filter storage when their capacity suffices, so refilling the same Tile —
+// the edge-cache miss path — is allocation-free in steady state. The decoded
+// tile owns its memory; it never aliases data. On error the tile's contents
+// are unspecified and must not be used.
+func DecodeInto(t *Tile, data []byte) error {
 	if len(data) < 36 {
-		return nil, fmt.Errorf("csr: encoded tile too short (%d bytes)", len(data))
+		return fmt.Errorf("csr: encoded tile too short (%d bytes)", len(data))
 	}
 	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
 	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(crcBytes); got != want {
-		return nil, fmt.Errorf("csr: tile checksum mismatch (got %#x want %#x)", got, want)
+		return fmt.Errorf("csr: tile checksum mismatch (got %#x want %#x)", got, want)
 	}
 	if m := binary.LittleEndian.Uint32(body[0:]); m != tileMagic {
-		return nil, fmt.Errorf("csr: bad tile magic %#x", m)
+		return fmt.Errorf("csr: bad tile magic %#x", m)
 	}
-	t := &Tile{
-		ID:          binary.LittleEndian.Uint32(body[4:]),
-		TargetLo:    binary.LittleEndian.Uint32(body[8:]),
-		TargetHi:    binary.LittleEndian.Uint32(body[12:]),
-		NumVertices: binary.LittleEndian.Uint32(body[16:]),
-	}
+	t.ID = binary.LittleEndian.Uint32(body[4:])
+	t.TargetLo = binary.LittleEndian.Uint32(body[8:])
+	t.TargetHi = binary.LittleEndian.Uint32(body[12:])
+	t.NumVertices = binary.LittleEndian.Uint32(body[16:])
 	numEdges := binary.LittleEndian.Uint32(body[20:])
 	flags := binary.LittleEndian.Uint32(body[24:])
 	filterLen := binary.LittleEndian.Uint32(body[28:])
 	if t.TargetHi < t.TargetLo {
-		return nil, fmt.Errorf("csr: inverted target range [%d,%d)", t.TargetLo, t.TargetHi)
+		return fmt.Errorf("csr: inverted target range [%d,%d)", t.TargetLo, t.TargetHi)
 	}
 	numRow := uint64(t.TargetHi-t.TargetLo) + 1
 	want := uint64(32) + uint64(filterLen) + numRow*4 + uint64(numEdges)*4
@@ -208,36 +318,44 @@ func Decode(data []byte) (*Tile, error) {
 		want += uint64(numEdges) * 4
 	}
 	if uint64(len(body)) != want {
-		return nil, fmt.Errorf("csr: tile body %d bytes, want %d", len(body), want)
+		return fmt.Errorf("csr: tile body %d bytes, want %d", len(body), want)
 	}
 	off := 32
 	if flags&flagFilter != 0 {
-		f, err := bloom.Decode(body[off : off+int(filterLen)])
-		if err != nil {
-			return nil, fmt.Errorf("csr: tile filter: %w", err)
+		if t.Filter == nil {
+			t.Filter = new(bloom.Filter)
 		}
-		t.Filter = f
+		if err := bloom.DecodeInto(t.Filter, body[off:off+int(filterLen)]); err != nil {
+			return fmt.Errorf("csr: tile filter: %w", err)
+		}
+	} else {
+		t.Filter = nil
 	}
 	off += int(filterLen)
-	t.Row = make([]uint32, numRow)
-	for i := range t.Row {
-		t.Row[i] = binary.LittleEndian.Uint32(body[off:])
-		off += 4
+	nr, ne := int(numRow), int(numEdges)
+	if cap(t.backing) < nr+ne {
+		t.backing = make([]uint32, nr+ne)
+	} else {
+		t.backing = t.backing[:nr+ne]
 	}
-	t.Col = make([]uint32, numEdges)
-	for i := range t.Col {
-		t.Col[i] = binary.LittleEndian.Uint32(body[off:])
-		off += 4
-	}
+	wordcodec.Uint32s(t.backing, body[off:])
+	// Capped subslices keep hypothetical appends from crossing the boundary.
+	t.Row = t.backing[:nr:nr]
+	t.Col = t.backing[nr : nr+ne : nr+ne]
+	off += (nr + ne) * 4
 	if flags&flagWeighted != 0 {
-		t.Val = make([]float32, numEdges)
-		for i := range t.Val {
-			t.Val[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[off:]))
-			off += 4
-		}
+		t.Val = growFloat32(t.Val, ne)
+		wordcodec.Float32s(t.Val, body[off:])
+	} else {
+		t.Val = nil
 	}
-	if err := t.Validate(); err != nil {
-		return nil, err
+	return t.Validate()
+}
+
+// growFloat32 resizes s to n elements, reusing its backing array if possible.
+func growFloat32(s []float32, n int) []float32 {
+	if cap(s) < n {
+		return make([]float32, n)
 	}
-	return t, nil
+	return s[:n]
 }

@@ -11,8 +11,10 @@ package disk
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -59,14 +61,99 @@ type Store struct {
 	// non-nil return aborts the operation with that error. Tests use it to
 	// inject I/O failures.
 	failHook atomic.Value // func(op, name string) error
+
+	// fds caches open read handles: tile blobs are written once and then
+	// re-read every superstep, so keeping the descriptor open turns each
+	// load into a single pread instead of open+stat+read+close. Bounded by
+	// maxCachedFDs; blobs beyond that fall back to transient opens.
+	fdMu sync.Mutex
+	fds  map[string]*cachedFile
 }
+
+// cachedFile is one cached read handle with its (immutable-until-rewritten)
+// size.
+type cachedFile struct {
+	f    *os.File
+	size int64
+}
+
+// maxCachedFDs bounds the per-store descriptor cache.
+const maxCachedFDs = 256
 
 // NewStore creates a store rooted at dir, creating the directory if needed.
 func NewStore(dir string, cfg Config) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("disk: creating store dir: %w", err)
 	}
-	return &Store{dir: dir, cfg: cfg}, nil
+	return &Store{dir: dir, cfg: cfg, fds: make(map[string]*cachedFile)}, nil
+}
+
+// Close releases all cached read handles. The store remains usable; later
+// reads reopen files as needed.
+func (s *Store) Close() error {
+	s.fdMu.Lock()
+	defer s.fdMu.Unlock()
+	var first error
+	for name, cf := range s.fds {
+		if err := cf.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.fds, name)
+	}
+	return first
+}
+
+// invalidate drops a cached handle after its blob is replaced or removed.
+func (s *Store) invalidate(name string) {
+	s.fdMu.Lock()
+	cf, ok := s.fds[name]
+	if ok {
+		delete(s.fds, name)
+	}
+	s.fdMu.Unlock()
+	if ok {
+		cf.f.Close()
+	}
+}
+
+// openRead returns a read handle and size for the named blob, caching the
+// first maxCachedFDs handles. transient reports whether the caller must
+// close the handle. The blob path is only materialized on a descriptor-cache
+// miss, keeping warm reads allocation-free.
+func (s *Store) openRead(name string) (cf *cachedFile, transient bool, err error) {
+	s.fdMu.Lock()
+	cf, ok := s.fds[name]
+	s.fdMu.Unlock()
+	if ok {
+		return cf, false, nil
+	}
+	path, err := s.path(name)
+	if err != nil {
+		return nil, false, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, false, err
+	}
+	cf = &cachedFile{f: f, size: info.Size()}
+	s.fdMu.Lock()
+	if prev, ok := s.fds[name]; ok {
+		s.fdMu.Unlock()
+		f.Close()
+		return prev, false, nil
+	}
+	if len(s.fds) < maxCachedFDs {
+		s.fds[name] = cf
+		s.fdMu.Unlock()
+		return cf, false, nil
+	}
+	s.fdMu.Unlock()
+	return cf, true, nil
 }
 
 // Dir returns the backing directory.
@@ -130,6 +217,7 @@ func (s *Store) Write(name string, data []byte) error {
 			return fmt.Errorf("disk: mkdir for %q: %w", name, err)
 		}
 	}
+	s.invalidate(name)
 	s.throttle(len(data), s.cfg.WriteBandwidth)
 	if err := os.WriteFile(p, data, 0o644); err != nil {
 		return fmt.Errorf("disk: writing %q: %w", name, err)
@@ -141,17 +229,35 @@ func (s *Store) Write(name string, data []byte) error {
 
 // Read returns the blob stored under name.
 func (s *Store) Read(name string) ([]byte, error) {
+	return s.ReadInto(name, nil)
+}
+
+// ReadInto returns the blob stored under name, reading it into dst's spare
+// capacity so callers can reuse one buffer across loads. Only the blob is
+// returned; it shares dst's backing array when the capacity suffices. The
+// read goes through the store's descriptor cache, so a warm re-read is one
+// pread and no allocations.
+func (s *Store) ReadInto(name string, dst []byte) ([]byte, error) {
 	if err := s.checkFail("read", name); err != nil {
 		return nil, err
 	}
-	p, err := s.path(name)
-	if err != nil {
-		return nil, err
-	}
-	data, err := os.ReadFile(p)
+	cf, transient, err := s.openRead(name)
 	if err != nil {
 		return nil, fmt.Errorf("disk: reading %q: %w", name, err)
 	}
+	if transient {
+		defer cf.f.Close()
+	}
+	start := len(dst)
+	size := int(cf.size)
+	dst = slices.Grow(dst, size)[:start+size]
+	if n, err := cf.f.ReadAt(dst[start:], 0); n != size {
+		if err == nil || err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("disk: reading %q: %w", name, err)
+	}
+	data := dst[start:]
 	s.throttle(len(data), s.cfg.ReadBandwidth)
 	s.readBytes.Add(int64(len(data)))
 	s.readOps.Add(1)
@@ -167,6 +273,7 @@ func (s *Store) Remove(name string) error {
 	if err != nil {
 		return err
 	}
+	s.invalidate(name)
 	if err := os.Remove(p); err != nil {
 		return fmt.Errorf("disk: removing %q: %w", name, err)
 	}

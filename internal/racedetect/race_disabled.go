@@ -1,0 +1,6 @@
+//go:build !race
+
+package racedetect
+
+// Enabled is true in -race builds.
+const Enabled = false

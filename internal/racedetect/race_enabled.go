@@ -1,0 +1,10 @@
+//go:build race
+
+// Package racedetect reports whether the binary was built with the race
+// detector. Allocation-count regression tests skip themselves under -race,
+// where instrumentation inflates alloc counts and fails guards that hold in
+// normal builds.
+package racedetect
+
+// Enabled is true in -race builds.
+const Enabled = true

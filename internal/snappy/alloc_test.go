@@ -1,0 +1,42 @@
+package snappy
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/racedetect"
+)
+
+// TestEncodeDecodeDstReuseAllocs pins the caller-supplied-buffer contract:
+// with dst buffers of sufficient capacity, neither Encode nor Decode
+// allocates — the property the compress layer's Append* paths and the
+// engine's per-worker wire buffers rely on.
+func TestEncodeDecodeDstReuseAllocs(t *testing.T) {
+	if racedetect.Enabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	src := make([]byte, 1<<16)
+	for i := range src {
+		src[i] = byte(i / 7)
+	}
+	enc := make([]byte, MaxEncodedLen(len(src)))
+	dec := make([]byte, len(src))
+	var encOut, decOut []byte
+	allocs := testing.AllocsPerRun(10, func() {
+		encOut = Encode(enc, src)
+		var err error
+		decOut, err = Decode(dec, encOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm Encode+Decode allocates %.1f times, want 0", allocs)
+	}
+	if !bytes.Equal(decOut, src) {
+		t.Error("round trip mismatch")
+	}
+	if &encOut[0] != &enc[0] || &decOut[0] != &dec[0] {
+		t.Error("dst buffers were not reused despite sufficient capacity")
+	}
+}

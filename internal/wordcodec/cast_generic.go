@@ -1,0 +1,15 @@
+//go:build !((386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm) && !graphh_purego)
+
+package wordcodec
+
+// fastLE is false on big-endian (or -tags graphh_purego) builds; every
+// conversion goes through the portable per-word loop.
+const fastLE = false
+
+// The cast helpers are never reached when fastLE is false; they exist only
+// so the shared code compiles.
+func u32Bytes(s []uint32) []byte { panic("wordcodec: cast on portable build") }
+
+func f32Bytes(s []float32) []byte { panic("wordcodec: cast on portable build") }
+
+func u64Bytes(s []uint64) []byte { panic("wordcodec: cast on portable build") }

@@ -1,0 +1,31 @@
+//go:build (386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm) && !graphh_purego
+
+package wordcodec
+
+import "unsafe"
+
+// fastLE marks platforms whose native word layout matches the little-endian
+// wire format, enabling the single-memmove fast path. Build with
+// -tags graphh_purego to force the portable loop (used by tests to cover it).
+const fastLE = true
+
+func u32Bytes(s []uint32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))
+}
+
+func f32Bytes(s []float32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))
+}
+
+func u64Bytes(s []uint64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 8*len(s))
+}

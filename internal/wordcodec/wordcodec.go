@@ -1,0 +1,90 @@
+// Package wordcodec converts between word slices ([]uint32, []uint64,
+// []float32) and their little-endian byte serialization in bulk. The tile
+// codec, the Bloom filter codec and the update wire format all store arrays
+// of fixed-width words; converting them one element at a time through
+// encoding/binary dominates (de)serialization cost at tile sizes. On
+// little-endian platforms the in-memory representation already *is* the wire
+// representation, so each conversion collapses to a single memmove via byte
+// reinterpretation; other platforms fall back to a portable per-word loop.
+//
+// All functions require len(dst) (in bytes or words) to exactly cover src;
+// they panic on short buffers like copy with mismatched element counts
+// would, since every caller sizes buffers from a validated header.
+package wordcodec
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// PutUint32s writes src to dst as little-endian 4-byte words.
+// dst must be at least 4*len(src) bytes.
+func PutUint32s(dst []byte, src []uint32) {
+	if fastLE {
+		copy(dst[:4*len(src)], u32Bytes(src))
+		return
+	}
+	for i, w := range src {
+		binary.LittleEndian.PutUint32(dst[4*i:], w)
+	}
+}
+
+// Uint32s fills dst from the little-endian 4-byte words in src.
+// src must be at least 4*len(dst) bytes.
+func Uint32s(dst []uint32, src []byte) {
+	if fastLE {
+		copy(u32Bytes(dst), src[:4*len(dst)])
+		return
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(src[4*i:])
+	}
+}
+
+// PutFloat32s writes src to dst as little-endian IEEE-754 words.
+// dst must be at least 4*len(src) bytes.
+func PutFloat32s(dst []byte, src []float32) {
+	if fastLE {
+		copy(dst[:4*len(src)], f32Bytes(src))
+		return
+	}
+	for i, w := range src {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(w))
+	}
+}
+
+// Float32s fills dst from the little-endian IEEE-754 words in src.
+// src must be at least 4*len(dst) bytes.
+func Float32s(dst []float32, src []byte) {
+	if fastLE {
+		copy(f32Bytes(dst), src[:4*len(dst)])
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+}
+
+// PutUint64s writes src to dst as little-endian 8-byte words.
+// dst must be at least 8*len(src) bytes.
+func PutUint64s(dst []byte, src []uint64) {
+	if fastLE {
+		copy(dst[:8*len(src)], u64Bytes(src))
+		return
+	}
+	for i, w := range src {
+		binary.LittleEndian.PutUint64(dst[8*i:], w)
+	}
+}
+
+// Uint64s fills dst from the little-endian 8-byte words in src.
+// src must be at least 8*len(dst) bytes.
+func Uint64s(dst []uint64, src []byte) {
+	if fastLE {
+		copy(u64Bytes(dst), src[:8*len(dst)])
+		return
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(src[8*i:])
+	}
+}

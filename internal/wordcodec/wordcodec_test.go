@@ -1,0 +1,87 @@
+package wordcodec
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestRoundTripMatchesBinary checks every conversion against the
+// encoding/binary reference on random data, covering both the memmove fast
+// path and (under -tags graphh_purego) the portable loop.
+func TestRoundTripMatchesBinary(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, n := range []int{0, 1, 3, 17, 1024} {
+		u32 := make([]uint32, n)
+		f32 := make([]float32, n)
+		u64 := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			u32[i] = rng.Uint32()
+			f32[i] = float32(rng.NormFloat64())
+			u64[i] = rng.Uint64()
+		}
+
+		b32 := make([]byte, 4*n)
+		PutUint32s(b32, u32)
+		for i, w := range u32 {
+			if got := binary.LittleEndian.Uint32(b32[4*i:]); got != w {
+				t.Fatalf("n=%d PutUint32s[%d] = %#x, want %#x", n, i, got, w)
+			}
+		}
+		back32 := make([]uint32, n)
+		Uint32s(back32, b32)
+		for i := range u32 {
+			if back32[i] != u32[i] {
+				t.Fatalf("n=%d Uint32s[%d] mismatch", n, i)
+			}
+		}
+
+		bf := make([]byte, 4*n)
+		PutFloat32s(bf, f32)
+		for i, w := range f32 {
+			if got := math.Float32frombits(binary.LittleEndian.Uint32(bf[4*i:])); got != w {
+				t.Fatalf("n=%d PutFloat32s[%d] = %v, want %v", n, i, got, w)
+			}
+		}
+		backf := make([]float32, n)
+		Float32s(backf, bf)
+		for i := range f32 {
+			if backf[i] != f32[i] {
+				t.Fatalf("n=%d Float32s[%d] mismatch", n, i)
+			}
+		}
+
+		b64 := make([]byte, 8*n)
+		PutUint64s(b64, u64)
+		for i, w := range u64 {
+			if got := binary.LittleEndian.Uint64(b64[8*i:]); got != w {
+				t.Fatalf("n=%d PutUint64s[%d] = %#x, want %#x", n, i, got, w)
+			}
+		}
+		back64 := make([]uint64, n)
+		Uint64s(back64, b64)
+		for i := range u64 {
+			if back64[i] != u64[i] {
+				t.Fatalf("n=%d Uint64s[%d] mismatch", n, i)
+			}
+		}
+	}
+}
+
+// TestOversizedBuffers checks that destination buffers larger than the data
+// are only written in their prefix.
+func TestOversizedBuffers(t *testing.T) {
+	src := []uint32{0x01020304, 0x05060708}
+	dst := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xAA, 0xBB}
+	PutUint32s(dst, src)
+	if dst[8] != 0xAA || dst[9] != 0xBB {
+		t.Fatalf("PutUint32s wrote past 4*len(src): % x", dst)
+	}
+	words := []uint32{7, 7}
+	raw := []byte{1, 0, 0, 0, 2, 0, 0, 0, 99, 99}
+	Uint32s(words, raw)
+	if words[0] != 1 || words[1] != 2 {
+		t.Fatalf("Uint32s read wrong prefix: %v", words)
+	}
+}
