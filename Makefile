@@ -1,11 +1,13 @@
 # Tier-1 verification and development targets. `make ci` is the one-command
-# gate: build, vet, then the full test suite.
+# tier-1 gate (build, vet, full test suite); `make check` is the default
+# developer gate: ci plus a race-detector pass over the concurrency-heavy
+# packages and a short-budget fuzz run.
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-codec fuzz ci
+.PHONY: all build test vet bench bench-codec fuzz fuzz-ci race ci check
 
-all: ci
+all: check
 
 build:
 	$(GO) build ./...
@@ -18,6 +20,15 @@ test:
 
 # ci is the tier-1 verify: everything must build, vet clean and pass.
 ci: build vet test
+
+# race runs the cluster and core suites — the packages with real
+# cross-goroutine traffic (pipelined sender, receive loop, worker pools) —
+# under the race detector.
+race:
+	$(GO) test -race -count=1 ./internal/cluster/ ./internal/core/
+
+# check is the default gate: tier-1 plus race and a short fuzz budget.
+check: ci race fuzz-ci
 
 # bench runs the experiment-harness benchmarks plus the end-to-end PageRank
 # hot-path benchmark (see PERF.md).
@@ -33,3 +44,8 @@ bench-codec:
 # fuzz gives the tile-codec fuzzer a short budget; raise -fuzztime at will.
 fuzz:
 	$(GO) test ./internal/csr/ -run xxx -fuzz FuzzDecode -fuzztime 30s
+
+# fuzz-ci runs every fuzz target with a CI-sized budget.
+fuzz-ci:
+	$(GO) test ./internal/csr/ -run xxx -fuzz FuzzDecode -fuzztime 10s
+	$(GO) test ./internal/comm/ -run xxx -fuzz FuzzDecodeInto -fuzztime 10s

@@ -106,12 +106,16 @@ func BenchmarkAblationCacheAuto(b *testing.B) { runExperiment(b, "a4") }
 // BenchmarkAblationTileSize covers ablation A5 (tile size sweep).
 func BenchmarkAblationTileSize(b *testing.B) { runExperiment(b, "a5") }
 
-// BenchmarkPageRank4Servers runs ten PageRank supersteps end to end on a
-// 4-server cluster — the direct measure of the superstep hot path that the
-// zero-copy tile codec and the allocation-free scratch buffers target (see
-// PERF.md for tracked numbers; run with -benchmem). Scale follows
+// benchPageRank runs ten PageRank supersteps end to end on an N-server
+// cluster — the direct measure of the superstep hot path that the zero-copy
+// tile codec, the allocation-free scratch buffers, and the pipelined
+// communication subsystem target (see PERF.md for tracked numbers; run with
+// -benchmem). The NIC is modelled at 1 Gbps so wire time is visible at
+// laptop scale: the pipelined variants overlap it with gather compute, the
+// Lockstep variants pay compute plus wire serially — the pair is the
+// tracked pipelined-vs-lockstep comparison. Scale follows
 // GRAPHH_BENCH_SCALE like the rest of the suite.
-func BenchmarkPageRank4Servers(b *testing.B) {
+func benchPageRank(b *testing.B, servers int, lockstep bool) {
 	g, err := graphh.Generate("uk2007-sim", benchCtx().Scale)
 	if err != nil {
 		b.Fatal(err)
@@ -120,10 +124,21 @@ func BenchmarkPageRank4Servers(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	opts := graphh.Options{
+		Servers:       servers,
+		MaxSupersteps: 10,
+		NetBandwidth:  125e6, // 1 Gbps commodity NIC
+		Lockstep:      lockstep,
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := graphh.Run(p, graphh.NewPageRank(), graphh.Options{Servers: 4, MaxSupersteps: 10}); err != nil {
+		if _, err := graphh.Run(p, graphh.NewPageRank(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+func BenchmarkPageRank4Servers(b *testing.B)         { benchPageRank(b, 4, false) }
+func BenchmarkPageRank4ServersLockstep(b *testing.B) { benchPageRank(b, 4, true) }
+func BenchmarkPageRank8Servers(b *testing.B)         { benchPageRank(b, 8, false) }
+func BenchmarkPageRank8ServersLockstep(b *testing.B) { benchPageRank(b, 8, true) }

@@ -20,6 +20,19 @@
 // Programs implement the two-function GAB abstraction (§III-C): Gather folds
 // in-edges into an accumulator, Apply produces the new vertex value, and the
 // engine broadcasts changes. PageRank, SSSP, BFS and WCC ship ready-made.
+//
+// # Transport pipeline
+//
+// Update broadcasts flow through an asynchronous per-destination pipeline
+// (§IV-C's compute/communication overlap): each worker encodes its tile's
+// batch into a pooled wire buffer and enqueues it, a goroutine per peer
+// drains the bounded queue onto the wire, and a concurrent receive loop
+// decodes foreign batches into per-sender staging while local tiles are
+// still being processed. Staged updates are applied only after local
+// compute finishes, so results stay bit-identical to a serial run; the send
+// queues are flushed before every BSP barrier so failures surface at step
+// edges. A superstep therefore costs max(compute, wire) rather than their
+// sum; Options.Lockstep restores the serialized baseline for comparison.
 package graphh
 
 import (
@@ -157,6 +170,14 @@ type Options struct {
 	OnDemandReplication bool
 	// DisableBloomSkip turns off inactive-tile skipping (§III-C-4).
 	DisableBloomSkip bool
+	// Lockstep disables the pipelined communication subsystem (see the
+	// package docs): broadcasts serialize under one per-server mutex and
+	// foreign batches are received in a blocking sweep after compute. Kept
+	// as the ablation baseline for the pipelined-vs-lockstep comparison.
+	Lockstep bool
+	// SendQueueCap bounds each destination's pipelined send queue; full
+	// queues backpressure compute workers (default 32).
+	SendQueueCap int
 	// WorkDir hosts per-server scratch stores; "" = temp dir.
 	WorkDir string
 }
@@ -190,6 +211,8 @@ func (o Options) engineConfig() core.Config {
 	if o.DisableBloomSkip {
 		cfg.BloomSkip = false
 	}
+	cfg.Lockstep = o.Lockstep
+	cfg.SendQueueCap = o.SendQueueCap
 	cfg.WorkDir = o.WorkDir
 	return cfg
 }

@@ -65,12 +65,20 @@ type Config struct {
 	InboxCapacity int
 }
 
-// Metrics captures one node's accumulated traffic.
+// Metrics captures one node's accumulated traffic. The last three fields
+// describe the node's pipelined Sender, when it uses one: how often an
+// Enqueue found its destination queue full (a compute worker stalled on
+// backpressure), the deepest any destination queue ever got, and how many
+// messages went through the async path at all.
 type Metrics struct {
 	BytesSent int64
 	BytesRecv int64
 	MsgsSent  int64
 	MsgsRecv  int64
+
+	SendStalls     int64
+	QueueHighWater int64
+	Enqueued       int64
 }
 
 // message is the unit moved by transports.
@@ -96,6 +104,11 @@ type Cluster struct {
 	msgsS []atomic.Int64
 	msgsR []atomic.Int64
 
+	// Pipelined-sender counters, indexed by node.
+	stalls   []atomic.Int64
+	queueHi  []atomic.Int64
+	enqueued []atomic.Int64
+
 	// netClock implements the shared outbound-bandwidth model per node.
 	netMu    []sync.Mutex
 	netBusy  []time.Time
@@ -112,14 +125,17 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.InboxCapacity = 4096
 	}
 	c := &Cluster{
-		cfg:     cfg,
-		bar:     newReusableBarrier(cfg.NumNodes),
-		sent:    make([]atomic.Int64, cfg.NumNodes),
-		recvd:   make([]atomic.Int64, cfg.NumNodes),
-		msgsS:   make([]atomic.Int64, cfg.NumNodes),
-		msgsR:   make([]atomic.Int64, cfg.NumNodes),
-		netMu:   make([]sync.Mutex, cfg.NumNodes),
-		netBusy: make([]time.Time, cfg.NumNodes),
+		cfg:      cfg,
+		bar:      newReusableBarrier(cfg.NumNodes),
+		sent:     make([]atomic.Int64, cfg.NumNodes),
+		recvd:    make([]atomic.Int64, cfg.NumNodes),
+		msgsS:    make([]atomic.Int64, cfg.NumNodes),
+		msgsR:    make([]atomic.Int64, cfg.NumNodes),
+		stalls:   make([]atomic.Int64, cfg.NumNodes),
+		queueHi:  make([]atomic.Int64, cfg.NumNodes),
+		enqueued: make([]atomic.Int64, cfg.NumNodes),
+		netMu:    make([]sync.Mutex, cfg.NumNodes),
+		netBusy:  make([]time.Time, cfg.NumNodes),
 	}
 	var err error
 	switch cfg.Transport {
@@ -161,14 +177,17 @@ func (c *Cluster) Close() error {
 // NodeMetrics returns a snapshot of node i's traffic counters.
 func (c *Cluster) NodeMetrics(i int) Metrics {
 	return Metrics{
-		BytesSent: c.sent[i].Load(),
-		BytesRecv: c.recvd[i].Load(),
-		MsgsSent:  c.msgsS[i].Load(),
-		MsgsRecv:  c.msgsR[i].Load(),
+		BytesSent:      c.sent[i].Load(),
+		BytesRecv:      c.recvd[i].Load(),
+		MsgsSent:       c.msgsS[i].Load(),
+		MsgsRecv:       c.msgsR[i].Load(),
+		SendStalls:     c.stalls[i].Load(),
+		QueueHighWater: c.queueHi[i].Load(),
+		Enqueued:       c.enqueued[i].Load(),
 	}
 }
 
-// TotalMetrics sums traffic over all nodes.
+// TotalMetrics sums traffic over all nodes (QueueHighWater takes the max).
 func (c *Cluster) TotalMetrics() Metrics {
 	var m Metrics
 	for i := 0; i < c.cfg.NumNodes; i++ {
@@ -177,6 +196,11 @@ func (c *Cluster) TotalMetrics() Metrics {
 		m.BytesRecv += n.BytesRecv
 		m.MsgsSent += n.MsgsSent
 		m.MsgsRecv += n.MsgsRecv
+		m.SendStalls += n.SendStalls
+		m.Enqueued += n.Enqueued
+		if n.QueueHighWater > m.QueueHighWater {
+			m.QueueHighWater = n.QueueHighWater
+		}
 	}
 	return m
 }
@@ -188,6 +212,9 @@ func (c *Cluster) ResetMetrics() {
 		c.recvd[i].Store(0)
 		c.msgsS[i].Store(0)
 		c.msgsR[i].Store(0)
+		c.stalls[i].Store(0)
+		c.queueHi[i].Store(0)
+		c.enqueued[i].Store(0)
 	}
 }
 
@@ -262,18 +289,36 @@ func (n *Node) Recv() (from int, payload []byte, err error) {
 	return from, payload, err
 }
 
+// RecvStream receives exactly count messages, invoking fn for each one as
+// it arrives — the streaming counterpart of RecvN. The payload passed to fn
+// is owned by the callback (transports never reuse it), but fn runs on the
+// caller's goroutine, so a slow callback delays subsequent receives. A
+// callback error stops the stream and is returned as-is.
+func (n *Node) RecvStream(count int, fn func(from int, payload []byte) error) error {
+	for i := 0; i < count; i++ {
+		from, p, err := n.Recv()
+		if err != nil {
+			return err
+		}
+		if err := fn(from, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RecvN receives exactly count messages, the per-superstep gather pattern
 // (each node expects one update broadcast from every peer).
 func (n *Node) RecvN(count int) ([][]byte, []int, error) {
 	payloads := make([][]byte, 0, count)
 	froms := make([]int, 0, count)
-	for len(payloads) < count {
-		from, p, err := n.Recv()
-		if err != nil {
-			return nil, nil, err
-		}
+	err := n.RecvStream(count, func(from int, p []byte) error {
 		payloads = append(payloads, p)
 		froms = append(froms, from)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return payloads, froms, nil
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"math/bits"
 	"slices"
 	"sync"
 
@@ -335,15 +336,34 @@ func DecodeInto(b *Batch, msg []byte) (Encoding, error) {
 		if cap(b.Updates) < int(count) {
 			b.Updates = make([]Update, 0, count)
 		}
-		for local := 0; local < n; local++ {
-			if body[local/8]&(1<<(local%8)) == 0 {
-				continue
+		// Word-at-a-time bitvector scan: load 64 bits, then jump straight
+		// to each set bit with TrailingZeros64, so sparse-ish dense bodies
+		// cost one branch per update instead of one per target vertex.
+		for base := 0; base < n; base += 64 {
+			off := base / 8
+			var w uint64
+			if bvLen-off >= 8 {
+				w = binary.LittleEndian.Uint64(body[off:])
+			} else {
+				for i := off; i < bvLen; i++ {
+					w |= uint64(body[i]) << (8 * (i - off))
+				}
 			}
-			bits := binary.LittleEndian.Uint64(body[bvLen+8*local:])
-			b.Updates = append(b.Updates, Update{
-				ID:    b.Lo + uint32(local),
-				Value: math.Float64frombits(bits),
-			})
+			// The encoder never sets bits at or beyond n, but the message
+			// is untrusted input: stray high bits would index the value
+			// array out of bounds.
+			if rem := n - base; rem < 64 {
+				w &= 1<<rem - 1
+			}
+			for w != 0 {
+				local := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				v := binary.LittleEndian.Uint64(body[bvLen+8*local:])
+				b.Updates = append(b.Updates, Update{
+					ID:    b.Lo + uint32(local),
+					Value: math.Float64frombits(v),
+				})
+			}
 		}
 		if uint32(len(b.Updates)) != count {
 			return Encoding{}, fmt.Errorf("comm: dense bitvector has %d updates, header says %d", len(b.Updates), count)

@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	. "repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/tile"
+)
+
+// TestPipelinedDeterminism pins the bit-identical-results contract of the
+// pipelined communication subsystem: because foreign batches are staged
+// during compute and applied only after the barrier-side join, and tile
+// target ranges are disjoint, the final vertex values must not depend on
+// the transport, the server count, or whether broadcasts are pipelined or
+// lockstep. Every configuration must match the single-server lockstep run
+// down to the last float64 bit.
+func TestPipelinedDeterminism(t *testing.T) {
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 600, 6000, 42)
+	p, err := tile.Split(el, tile.Options{TileSize: el.NumEdges()/16 + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 8
+
+	run := func(t *testing.T, servers int, tr cluster.TransportKind, lockstep bool) []float64 {
+		t.Helper()
+		cfg := DefaultConfig(servers)
+		cfg.WorkDir = t.TempDir()
+		cfg.MaxSupersteps = steps
+		cfg.Transport = tr
+		cfg.Lockstep = lockstep
+		res, err := New(cfg).Run(Input{Partition: p}, apps.PageRank{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Values
+	}
+
+	want := run(t, 1, cluster.Inproc, true)
+	for _, servers := range []int{1, 2, 4, 8} {
+		for _, tr := range []cluster.TransportKind{cluster.Inproc, cluster.TCP} {
+			for _, lockstep := range []bool{false, true} {
+				name := fmt.Sprintf("servers=%d/%s/lockstep=%v", servers, tr, lockstep)
+				t.Run(name, func(t *testing.T) {
+					got := run(t, servers, tr, lockstep)
+					for v := range want {
+						if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+							t.Fatalf("vertex %d = %x, want %x (not bit-identical)",
+								v, math.Float64bits(got[v]), math.Float64bits(want[v]))
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPipelinedStallMetrics checks that the queue-depth counters are wired
+// through to ServerStats: with a tiny send queue and many tiles, pipelined
+// runs must observe a nonzero high-water mark, and lockstep runs must not
+// touch the async counters at all.
+func TestPipelinedStallMetrics(t *testing.T) {
+	el := graph.GenerateRMAT(graph.DefaultRMAT(), 512, 5000, 7)
+	p, err := tile.Split(el, tile.Options{TileSize: el.NumEdges()/24 + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(2)
+	cfg.WorkDir = t.TempDir()
+	cfg.MaxSupersteps = 5
+	cfg.SendQueueCap = 1
+	res, err := New(cfg).Run(Input{Partition: p}, apps.PageRank{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hw int64
+	for _, sv := range res.Servers {
+		if sv.SendQueueHighWater > hw {
+			hw = sv.SendQueueHighWater
+		}
+	}
+	if hw == 0 {
+		t.Fatal("pipelined run with SendQueueCap=1 never reported queue depth")
+	}
+
+	cfg.Lockstep = true
+	cfg.WorkDir = t.TempDir()
+	res, err = New(cfg).Run(Input{Partition: p}, apps.PageRank{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sv := range res.Servers {
+		if sv.SendStalls != 0 || sv.SendQueueHighWater != 0 {
+			t.Fatalf("lockstep run reported async counters: %+v", sv)
+		}
+	}
+}

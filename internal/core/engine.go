@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -61,6 +62,14 @@ type Config struct {
 	// BloomCheckLimit is the largest updated-vertex count for which tile
 	// filters are consulted; above it every tile is loaded. Default 1024.
 	BloomCheckLimit int
+	// Lockstep disables the pipelined communication subsystem: workers
+	// broadcast synchronously under one per-server mutex and foreign
+	// batches are received in one blocking sweep after compute — the
+	// pre-pipeline behaviour, kept as the ablation baseline (see PERF.md).
+	Lockstep bool
+	// SendQueueCap bounds each destination's asynchronous send queue in the
+	// pipelined subsystem; full queues backpressure workers. Default 32.
+	SendQueueCap int
 	// DiskFailureHook, when non-nil, is installed on every server's local
 	// tile store — failure injection for tests (see disk.Store).
 	DiskFailureHook func(server int, op, name string) error
@@ -192,6 +201,8 @@ func (e *Engine) Run(in Input, prog Program) (*Result, error) {
 		m := cl.NodeMetrics(n.ID())
 		res.Servers[n.ID()].BytesSent = m.BytesSent
 		res.Servers[n.ID()].BytesRecv = m.BytesRecv
+		res.Servers[n.ID()].SendStalls = m.SendStalls
+		res.Servers[n.ID()].SendQueueHighWater = m.QueueHighWater
 		return nil
 	})
 	if runErr != nil {
@@ -279,11 +290,19 @@ type server struct {
 	// Steady-state scratch, sized once in setup so the superstep loop
 	// allocates O(changed vertices), not O(edges):
 	// one workerScratch per worker, one update buffer and outcome slot per
-	// tile, and one reused batch for decoding received broadcasts.
+	// tile, one reused batch for decoding received broadcasts, and one
+	// staging slice per peer for updates received mid-compute.
 	scratch   []*workerScratch
 	outs      []tileOut
 	updBufs   [][]comm.Update
 	recvBatch comm.Batch
+	staged    [][]comm.Update
+
+	// sender is the pipelined broadcast subsystem (nil single-node or in
+	// Lockstep mode); bmu serializes lockstep broadcasts, matching the
+	// one-NIC-per-server model the async queues preserve per destination.
+	sender *cluster.Sender
+	bmu    sync.Mutex
 }
 
 // workerScratch is one worker's reusable memory for the superstep hot path:
@@ -312,6 +331,15 @@ func (s *server) run() (setupDur, loopDur time.Duration, steps []StepStats, err 
 		return 0, 0, nil, err
 	}
 	setupDur = time.Since(setupStart)
+
+	if !s.cfg.Lockstep && s.node.NumNodes() > 1 {
+		// The pipelined subsystem: per-destination send queues that overlap
+		// gather compute with wire time. Close drains them (Flush) and is
+		// safe on error paths — peers keep receiving until every expected
+		// batch of the step has arrived, so queued messages always drain.
+		s.sender = s.node.NewSender(s.cfg.SendQueueCap)
+		defer s.sender.Close()
+	}
 
 	loopStart := time.Now()
 	steps, err = s.superstepLoop()
@@ -348,11 +376,7 @@ func (s *server) setup() error {
 	}
 	var bloomBytes int64
 	var tl csr.Tile // reused across tiles; only the filter is retained
-	for _, i := range s.tiles {
-		enc, err := s.fetch(i)
-		if err != nil {
-			return fmt.Errorf("core: server %d fetching tile %d: %w", s.node.ID(), i, err)
-		}
+	ingest := func(i int, enc []byte) error {
 		if err := s.store.Write(tileBlobName(i), enc); err != nil {
 			return err
 		}
@@ -375,6 +399,72 @@ func (s *server) setup() error {
 				memberSet[src] = struct{}{}
 			}
 		}
+		return nil
+	}
+
+	// Prefetch assigned tiles with a bounded in-flight window instead of
+	// fetching serially — the SPE/DFS path reads each manifest tile from the
+	// distributed store, so overlapping those reads cuts multi-server setup
+	// time the same way the partition path's per-tile pre-encode does.
+	// Slots are acquired in tile order and released as results are ingested,
+	// so at most `window` fetched tiles are ever held in memory and the
+	// ordered consumer can never deadlock behind later fetches.
+	type fetched struct {
+		enc []byte
+		err error
+	}
+	window := s.cfg.WorkersPerServer * 2
+	if window < 4 {
+		window = 4
+	}
+	if window > len(s.tiles) {
+		window = len(s.tiles)
+	}
+	results := make([]chan fetched, len(s.tiles))
+	for idx := range results {
+		results[idx] = make(chan fetched, 1)
+	}
+	sem := make(chan struct{}, window)
+	var aborted atomic.Bool
+	errAborted := errors.New("setup aborted")
+	go func() {
+		for idx, i := range s.tiles {
+			sem <- struct{}{}
+			go func(idx, i int) {
+				// Post-error fetches short-circuit: every tile still
+				// produces exactly one result (so the accounting below
+				// cannot deadlock) but no further I/O happens.
+				if aborted.Load() {
+					results[idx] <- fetched{err: errAborted}
+					return
+				}
+				enc, err := s.fetch(i)
+				results[idx] <- fetched{enc: enc, err: err}
+			}(idx, i)
+		}
+	}()
+	// On an error the remaining in-flight fetches are drained off the
+	// caller's path so neither they nor the dispatcher leak.
+	drainFrom := func(idx int) {
+		aborted.Store(true)
+		go func() {
+			for ; idx < len(s.tiles); idx++ {
+				<-results[idx]
+				<-sem
+			}
+		}()
+	}
+	for idx, i := range s.tiles {
+		r := <-results[idx]
+		<-sem
+		if r.err != nil {
+			drainFrom(idx + 1)
+			return fmt.Errorf("core: server %d fetching tile %d: %w", s.node.ID(), i, r.err)
+		}
+		if err := ingest(i, r.enc); err != nil {
+			drainFrom(idx + 1)
+			return err
+		}
 	}
 
 	s.scratch = make([]*workerScratch, s.cfg.WorkersPerServer)
@@ -383,6 +473,7 @@ func (s *server) setup() error {
 	}
 	s.outs = make([]tileOut, len(s.metas))
 	s.updBufs = make([][]comm.Update, len(s.metas))
+	s.staged = make([][]comm.Update, s.node.NumNodes())
 
 	capacity := s.cfg.CacheCapacity
 	switch {
@@ -440,9 +531,17 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 		stepStart := time.Now()
 		st := StepStats{Superstep: step}
 
+		// Pipelined receive: decode foreign batches into per-sender scratch
+		// as they arrive, concurrently with local compute. Applying waits
+		// until compute finishes so every gather reads step-(k-1) values.
+		var recvErr chan error
+		if s.sender != nil && expected > 0 {
+			recvErr = make(chan error, 1)
+			go func() { recvErr <- s.receiveForeign(expected) }()
+		}
+
 		// Parallel tile processing on T workers (OpenMP pragma analog).
 		outs := s.outs
-		var broadcastMu sync.Mutex
 		work := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < s.cfg.WorkersPerServer; w++ {
@@ -450,7 +549,7 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 			go func(scr *workerScratch) {
 				defer wg.Done()
 				for k := range work {
-					outs[k] = s.processTile(k, step, prevUpdated, encOpts, &broadcastMu, scr)
+					outs[k] = s.processTile(k, step, prevUpdated, encOpts, scr)
 				}
 			}(s.scratch[w])
 		}
@@ -500,10 +599,29 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 			absorb(o.updates)
 		}
 
-		// Receive one batch per foreign tile and apply it (the Broadcast
-		// leg of GAB, receiver side). Every batch decodes into one reused
-		// Batch value.
-		if n.NumNodes() > 1 {
+		// The Broadcast leg of GAB, receiver side. Pipelined: the concurrent
+		// receive loop already decoded everything it could during compute;
+		// drain the send queues (flush-at-barrier), join it, and apply the
+		// staged updates in sender-rank order. Lockstep: receive and decode
+		// everything here, after compute, into one reused Batch value.
+		switch {
+		case recvErr != nil:
+			if err := s.sender.Flush(); err != nil {
+				return nil, err
+			}
+			if err := <-recvErr; err != nil {
+				return nil, err
+			}
+			for from := range s.staged {
+				absorb(s.staged[from])
+				s.staged[from] = s.staged[from][:0]
+			}
+		case n.NumNodes() > 1:
+			if s.sender != nil {
+				if err := s.sender.Flush(); err != nil {
+					return nil, err
+				}
+			}
 			msgs, _, err := n.RecvN(expected)
 			if err != nil {
 				return nil, err
@@ -541,13 +659,27 @@ type tileOut struct {
 	err     error
 }
 
+// receiveForeign is the pipelined receive loop: it runs on its own
+// goroutine concurrently with tile compute, decoding each foreign batch the
+// moment it arrives and staging its updates per sender rank. Only this
+// goroutine touches recvBatch and staged until the superstep loop joins it.
+func (s *server) receiveForeign(expected int) error {
+	return s.node.RecvStream(expected, func(from int, msg []byte) error {
+		if _, err := comm.DecodeInto(&s.recvBatch, msg); err != nil {
+			return fmt.Errorf("core: server %d decoding update batch: %w", s.node.ID(), err)
+		}
+		s.staged[from] = append(s.staged[from], s.recvBatch.Updates...)
+		return nil
+	})
+}
+
 // processTile runs gather+apply over one tile and broadcasts the resulting
 // update batch (Algorithm 5 lines 8–16). Even skipped and empty tiles
 // broadcast a batch so receivers know exactly how many messages to expect.
 // All per-tile working memory — the update list, the decoded tile, the disk
 // read buffer and the wire buffer — is reused across supersteps, so in
 // steady state this path allocates nothing.
-func (s *server) processTile(k, step int, prevUpdated []uint32, encOpts comm.Options, bmu *sync.Mutex, scr *workerScratch) (out tileOut) {
+func (s *server) processTile(k, step int, prevUpdated []uint32, encOpts comm.Options, scr *workerScratch) (out tileOut) {
 	meta := s.metas[k]
 	g := s.graph
 	prog := s.prog
@@ -603,6 +735,25 @@ func (s *server) processTile(k, step int, prevUpdated []uint32, encOpts comm.Opt
 	out.skipped = skip
 
 	scr.batch = comm.Batch{TileID: uint32(meta.id), Lo: meta.lo, Hi: meta.hi, Updates: updates}
+	if s.sender != nil {
+		// Pipelined: encode into a pooled wire buffer and enqueue it. The
+		// worker moves on to its next tile immediately; ownership of the
+		// buffer transfers to the sender, which recycles it after the last
+		// destination's write.
+		wb := s.sender.Acquire()
+		msg, enc, err := comm.AppendEncode(wb.Data[:0], &scr.batch, encOpts)
+		if err != nil {
+			s.sender.Release(wb)
+			out.err = err
+			return out
+		}
+		wb.Data = msg
+		out.enc = enc
+		if err := s.sender.Broadcast(wb); err != nil {
+			out.err = err
+		}
+		return out
+	}
 	msg, enc, err := comm.AppendEncode(scr.wire[:0], &scr.batch, encOpts)
 	if err != nil {
 		out.err = err
@@ -610,13 +761,13 @@ func (s *server) processTile(k, step int, prevUpdated []uint32, encOpts comm.Opt
 	}
 	scr.wire = msg
 	out.enc = enc
-	// Broadcast serializes per server: the paper's workers also funnel
-	// through one NIC; both transports finish with the buffer before Send
-	// returns, so the wire buffer is free for the worker's next tile. This
-	// also keeps cluster.Node usage single-writer.
-	bmu.Lock()
+	// Lockstep broadcast serializes per server: the paper's workers also
+	// funnel through one NIC; both transports finish with the buffer before
+	// Send returns, so the wire buffer is free for the worker's next tile.
+	// This also keeps cluster.Node usage single-writer.
+	s.bmu.Lock()
 	err = s.node.Broadcast(msg)
-	bmu.Unlock()
+	s.bmu.Unlock()
 	if err != nil {
 		out.err = err
 	}

@@ -49,6 +49,12 @@ type ServerStats struct {
 	// BytesSent and BytesRecv are the server's network totals.
 	BytesSent int64
 	BytesRecv int64
+	// SendStalls counts broadcast enqueues that found a full send queue
+	// (a compute worker backpressured by wire time); SendQueueHighWater is
+	// the deepest any destination queue got. Both are zero in Lockstep mode
+	// and on single-server runs.
+	SendStalls         int64
+	SendQueueHighWater int64
 }
 
 // Result is the outcome of one engine run.
