@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-codec fuzz fuzz-ci race ci check
+.PHONY: all build test vet bench bench-codec fuzz fuzz-ci race ci check docs-check
 
 all: check
 
@@ -27,8 +27,25 @@ ci: build vet test
 race:
 	$(GO) test -race -count=1 ./internal/cluster/ ./internal/core/
 
-# check is the default gate: tier-1 plus race and a short fuzz budget.
-check: ci race fuzz-ci
+# check is the default gate: tier-1 plus race, a short fuzz budget, and the
+# documentation gate.
+check: ci race fuzz-ci docs-check
+
+# docs-check keeps the documentation honest: every example and command must
+# compile, gofmt must be clean repo-wide, and every `make <target>` command
+# quoted in README.md must exist as a target in this Makefile.
+docs-check:
+	$(GO) build ./examples/... ./cmd/...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	@missing=0; \
+	for t in $$(awk '/^```/{in_code=!in_code;next} in_code' README.md | \
+		grep -ohE '(^|[ \t])make [a-z][a-z0-9-]*' | sed 's/.*make //' | sort -u); do \
+		grep -qE "^$$t:" Makefile || { echo "README references missing make target: $$t"; missing=1; }; \
+	done; \
+	[ "$$missing" -eq 0 ]
 
 # bench runs the experiment-harness benchmarks plus the end-to-end PageRank
 # hot-path benchmark (see PERF.md).

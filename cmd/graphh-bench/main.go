@@ -6,6 +6,7 @@
 //
 //	graphh-bench -list
 //	graphh-bench -exp f9
+//	graphh-bench -exp f7b       # cache-capacity sweep per eviction policy
 //	graphh-bench -exp all -scale 0.5
 package main
 

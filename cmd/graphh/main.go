@@ -31,6 +31,7 @@ func main() {
 		tileSize   = flag.Int("tile-size", 0, "edges per tile S (0 = auto)")
 		cacheCap   = flag.Int64("cache-bytes", 0, "edge cache capacity per server (0 = unlimited, <0 disabled)")
 		cacheMode  = flag.String("cache-mode", "auto", "cache codec: auto, raw, snappy, zlib-1, zlib-3")
+		cachePol   = flag.String("cache-policy", "auto", "cache eviction: auto, admit-no-evict, lru, clock")
 		msgCodec   = flag.String("msg-codec", "snappy", "message codec: raw, snappy, zlib-1, zlib-3")
 		tcp        = flag.Bool("tcp", false, "use the TCP loopback transport")
 		symmetrize = flag.Bool("symmetrize", false, "add reverse edges before running (needed by wcc)")
@@ -85,6 +86,13 @@ func main() {
 		}
 		opts.CacheMode = &m
 	}
+	if *cachePol != "auto" {
+		p, err := graphh.CachePolicyByName(*cachePol)
+		if err != nil {
+			fail(err)
+		}
+		opts.CachePolicy = &p
+	}
 	mc, err := parseCodec(*msgCodec)
 	if err != nil {
 		fail(err)
@@ -104,9 +112,10 @@ func main() {
 	fmt.Printf("network: %.2f MB total; peak server memory: %.2f MB\n",
 		float64(res.TotalWireBytes())/1e6, float64(res.PeakMemoryBytes())/1e6)
 	for _, sv := range res.Servers {
-		fmt.Printf("  server %d: mem %.2f MB, disk read %.2f MB, cache hit %.1f%%\n",
+		fmt.Printf("  server %d: mem %.2f MB, disk read %.2f MB, cache hit %.1f%% (%s/%s)\n",
 			sv.Server, float64(sv.MemoryBytes)/1e6,
-			float64(sv.Disk.ReadBytes)/1e6, sv.Cache.HitRatio()*100)
+			float64(sv.Disk.ReadBytes)/1e6, sv.Cache.HitRatio()*100,
+			sv.CacheMode, sv.CachePolicy)
 	}
 
 	type kv struct {

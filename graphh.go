@@ -41,6 +41,7 @@ import (
 	"os"
 
 	"repro/internal/apps"
+	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/compress"
@@ -87,6 +88,29 @@ const (
 	CodecZlib1  = compress.Zlib1
 	CodecZlib3  = compress.Zlib3
 )
+
+// CachePolicy names the edge-cache eviction policies accepted by Options.
+type CachePolicy = cache.Policy
+
+// Available cache eviction policies.
+const (
+	// CacheAdmitNoEvict is the paper's §IV-B policy: admit while room
+	// remains, never evict. Optimal for a stable cyclic working set,
+	// frozen forever once full.
+	CacheAdmitNoEvict = cache.AdmitNoEvict
+	// CacheLRU evicts the least-recently-used tile — the Figure 7(b)
+	// baseline that thrashes under cyclic superstep access.
+	CacheLRU = cache.LRU
+	// CacheClock is the superstep-aware CLOCK/k-chance policy: tiles
+	// touched in the current superstep are protected, tiles untouched for
+	// two consecutive supersteps become eviction victims, so the resident
+	// set is stable under cyclic access yet follows working-set shifts.
+	CacheClock = cache.Clock
+)
+
+// CachePolicyByName parses a policy name ("admit-no-evict", "lru",
+// "clock") as printed by CachePolicy.String.
+func CachePolicyByName(name string) (CachePolicy, error) { return cache.PolicyByName(name) }
 
 // LoadCSV reads a tab/space-separated edge list ("src dst [weight]"; # and %
 // comments allowed).
@@ -162,6 +186,10 @@ type Options struct {
 	CacheCapacity int64
 	// CacheMode fixes the cache codec; nil selects automatically (§IV-B).
 	CacheMode *Codec
+	// CachePolicy fixes the edge-cache eviction policy; nil selects
+	// automatically — CacheClock when the capacity cannot hold the tile
+	// working set (eviction decisions matter), CacheAdmitNoEvict otherwise.
+	CachePolicy *CachePolicy
 	// MessageCodec compresses update broadcasts; nil = snappy (§IV-C).
 	MessageCodec *Codec
 	// ForceDense / ForceSparse disable the hybrid wire encoding (ablation).
@@ -193,6 +221,10 @@ func (o Options) engineConfig() core.Config {
 	if o.CacheMode != nil {
 		cfg.CacheAuto = false
 		cfg.CacheMode = *o.CacheMode
+	}
+	if o.CachePolicy != nil {
+		cfg.CachePolicyAuto = false
+		cfg.CachePolicy = *o.CachePolicy
 	}
 	if o.MessageCodec != nil {
 		cfg.MsgCodec = *o.MessageCodec

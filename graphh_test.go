@@ -109,6 +109,15 @@ func TestOptionKnobs(t *testing.T) {
 	}
 	mode := graphh.CodecZlib1
 	msg := graphh.CodecNone
+	raw := graphh.CodecNone
+	noEvict := graphh.CacheAdmitNoEvict
+	lru := graphh.CacheLRU
+	clock := graphh.CacheClock
+	// CacheCapacity is per server: with 2 servers each holds ~half the
+	// tiles, so a quarter of the total puts every server at ~50% of its
+	// working set and the eviction-policy variants actually evict/decline
+	// rather than degenerating to "everything fits".
+	tight := p.TotalTileBytes() / 4
 	var base []float64
 	for _, opt := range []graphh.Options{
 		{Servers: 2, MaxSupersteps: 6},
@@ -118,6 +127,9 @@ func TestOptionKnobs(t *testing.T) {
 		{Servers: 2, MaxSupersteps: 6, OnDemandReplication: true},
 		{Servers: 2, MaxSupersteps: 6, DisableBloomSkip: true},
 		{Servers: 2, MaxSupersteps: 6, CacheCapacity: -1},
+		{Servers: 2, MaxSupersteps: 6, CacheCapacity: tight, CacheMode: &raw, CachePolicy: &noEvict},
+		{Servers: 2, MaxSupersteps: 6, CacheCapacity: tight, CacheMode: &raw, CachePolicy: &lru},
+		{Servers: 2, MaxSupersteps: 6, CacheCapacity: tight, CacheMode: &raw, CachePolicy: &clock},
 	} {
 		opt.WorkDir = t.TempDir()
 		res, err := graphh.Run(p, graphh.NewPageRank(), opt)

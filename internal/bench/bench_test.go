@@ -20,7 +20,7 @@ func smokeContext() *Context {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"t1", "t2", "t3", "t4", "t5",
-		"f1a", "f1b", "f6a", "f6b", "f7",
+		"f1a", "f1b", "f6a", "f6b", "f7", "f7b",
 		"f8a", "f8b", "f8c", "f8d", "f9", "f10",
 		"a1", "a2", "a3", "a4", "a5",
 	}

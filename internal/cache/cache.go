@@ -7,7 +7,24 @@
 // compressed with snappy, zlib-1 or zlib-3 respectively, trading CPU
 // decompression time for a higher hit ratio under the same capacity. The
 // mode can be chosen automatically from the total tile size and capacity
-// using the paper's rule (compress.SelectCacheMode). Eviction is LRU.
+// using the paper's rule (compress.SelectCacheMode).
+//
+// Three eviction policies are provided. AdmitNoEvict is the paper's: admit
+// while room remains, never evict — Figure 7(b) shows it beating LRU
+// because a BSP superstep sweeps tiles cyclically, the worst case for
+// recency eviction. LRU is kept as that ablation baseline. Clock is a
+// superstep-aware CLOCK/k-chance policy that fixes AdmitNoEvict's blind
+// spot (a frozen resident set that cannot follow a shifting working set):
+// the engine calls AdvanceEpoch at every superstep boundary, entries
+// touched in the current epoch are protected, and entries untouched for k
+// consecutive epochs become eviction victims.
+//
+// Invariants: the cache never stores an entry larger than its capacity and
+// never exceeds capacity overall; entries returned in mode None alias cache
+// storage and must not be mutated; a tile handed to Put in mode None
+// transfers ownership to the cache. A full AdmitNoEvict cache "settles"
+// (declines without doing admission work) until capacity is freed; a full
+// Clock cache settles only until the next epoch.
 package cache
 
 import (
@@ -49,6 +66,10 @@ type entry struct {
 	blob []byte
 	size int64
 	elem *list.Element
+	// lastEpoch is the epoch (superstep) of the entry's last touch —
+	// admission or hit. The Clock policy's reference test reads it; the
+	// other policies ignore it.
+	lastEpoch int64
 }
 
 // Policy selects the admission/eviction behaviour.
@@ -61,9 +82,59 @@ const (
 	// yields a stable hit ratio equal to the cached fraction of tiles —
 	// the behaviour Figure 7(b) plots — where LRU would thrash to zero.
 	AdmitNoEvict Policy = iota
-	// LRU evicts least-recently-used entries to admit new ones.
+	// LRU evicts least-recently-used entries to admit new ones. Kept as the
+	// Figure 7(b) ablation baseline: a superstep sweeps every tile exactly
+	// once, so each tile's reuse distance equals the whole working set and
+	// LRU always evicts the tile that will be needed soonest.
 	LRU
+	// Clock is the superstep-aware CLOCK/k-chance policy. The caller marks
+	// superstep boundaries with AdvanceEpoch; an entry touched in the
+	// current epoch is protected, and an entry untouched for k consecutive
+	// epochs (k = DefaultChances, see SetChances) becomes an eviction
+	// victim. Under a stable cyclic working set no entry ever ages out, so
+	// Clock degenerates to AdmitNoEvict's stable resident set — but when
+	// the working set shifts (tiles stop being accessed, e.g. Bloom
+	// skipping prunes them), stale entries age out after k sweeps and the
+	// freed room re-admits the live set.
+	Clock
 )
+
+// Policies lists every eviction policy in declaration order.
+var Policies = []Policy{AdmitNoEvict, LRU, Clock}
+
+// String returns the policy name used in experiment output and CLI flags.
+func (p Policy) String() string {
+	switch p {
+	case AdmitNoEvict:
+		return "admit-no-evict"
+	case LRU:
+		return "lru"
+	case Clock:
+		return "clock"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// PolicyByName parses a policy name as printed by String.
+func PolicyByName(name string) (Policy, error) {
+	for _, p := range Policies {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return AdmitNoEvict, fmt.Errorf("cache: unknown policy %q", name)
+}
+
+// DefaultChances is the Clock policy's default k: an entry must go untouched
+// for two consecutive epochs before it becomes a victim. One epoch of grace
+// is the minimum that keeps entries not yet reached by the current sweep
+// from being victimized at the sweep's start; two make the policy robust to
+// a single skipped sweep (a Bloom-pruned superstep).
+const DefaultChances = 2
+
+// noEpoch marks "no decline recorded"; real epochs start at 0.
+const noEpoch int64 = -1
 
 // Cache is a bounded tile cache. It is safe for concurrent use by the
 // workers of one server.
@@ -78,14 +149,35 @@ type Cache struct {
 
 	mu      sync.Mutex
 	entries map[int]*entry
-	lru     *list.List // front = most recently used
-	bytes   int64
-	stats   Stats
+	// lru orders entries for victim selection. LRU: front = most recently
+	// used, evict from the back. Clock: insertion order (front = newest
+	// admission), swept back-to-front; hits do not reorder, so the ring is
+	// deterministic for a deterministic access sequence.
+	lru   *list.List
+	bytes int64
+	stats Stats
 	// declined is set when an AdmitNoEvict insertion is turned away for
 	// capacity: from then on the cache is effectively full for the cyclic
 	// access pattern of a superstep loop, so miss paths can decode into
 	// caller scratch instead of allocating tiles that will not be retained.
+	// It is cleared whenever capacity frees up (entry removal), so a
+	// shifted tile assignment re-opens admission — the re-admission fix.
 	declined bool
+	// epoch counts AdvanceEpoch calls — the superstep clock of the Clock
+	// policy's reference test.
+	epoch int64
+	// chances is the Clock policy's k (DefaultChances unless overridden).
+	chances int64
+	// declinedEpoch/declinedSize record the last Clock admission declined
+	// for want of victims: the epoch it happened in and the smallest size
+	// refused. Within one epoch the victim set can only shrink (touches
+	// protect, ages change only at epoch boundaries), so a failed eviction
+	// scan settles admission-by-eviction for tiles at least that large
+	// until the next epoch — later same-or-larger misses in the sweep skip
+	// the scan and the compression work, while a smaller tile (which needs
+	// less room) still gets its own scan.
+	declinedEpoch int64
+	declinedSize  int64
 }
 
 // New creates a cache with the given capacity in bytes and mode, using the
@@ -101,20 +193,30 @@ func NewLRU(capacityBytes int64, mode compress.Mode) (*Cache, error) {
 	return NewWithPolicy(capacityBytes, mode, LRU)
 }
 
+// NewClock creates a cache with the superstep-aware CLOCK/k-chance policy
+// (k = DefaultChances). The owner must call AdvanceEpoch once per superstep
+// for the aging machinery to act; without it Clock behaves like
+// AdmitNoEvict.
+func NewClock(capacityBytes int64, mode compress.Mode) (*Cache, error) {
+	return NewWithPolicy(capacityBytes, mode, Clock)
+}
+
 // NewWithPolicy creates a cache with an explicit policy.
 func NewWithPolicy(capacityBytes int64, mode compress.Mode, policy Policy) (*Cache, error) {
 	if !mode.Valid() {
 		return nil, fmt.Errorf("cache: invalid mode %d", int(mode))
 	}
-	if policy != AdmitNoEvict && policy != LRU {
+	if policy != AdmitNoEvict && policy != LRU && policy != Clock {
 		return nil, fmt.Errorf("cache: invalid policy %d", int(policy))
 	}
 	c := &Cache{
-		capacity: capacityBytes,
-		mode:     mode,
-		policy:   policy,
-		entries:  make(map[int]*entry),
-		lru:      list.New(),
+		capacity:      capacityBytes,
+		mode:          mode,
+		policy:        policy,
+		entries:       make(map[int]*entry),
+		lru:           list.New(),
+		chances:       DefaultChances,
+		declinedEpoch: noEpoch,
 	}
 	c.scratch.New = func() any { return new([]byte) }
 	return c, nil
@@ -131,6 +233,45 @@ func (c *Cache) Mode() compress.Mode { return c.mode }
 
 // Capacity returns the configured capacity in bytes.
 func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Policy returns the cache's eviction policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// SetChances overrides the Clock policy's k — the number of consecutive
+// epochs an entry must go untouched before it becomes an eviction victim.
+// Values below 1 are clamped to 1 (victimize anything untouched in the
+// current epoch). Call before use; k is not synchronized with ongoing
+// accesses.
+func (c *Cache) SetChances(k int) {
+	if k < 1 {
+		k = 1
+	}
+	c.chances = int64(k)
+}
+
+// AdvanceEpoch marks a superstep boundary: one full cyclic sweep of the
+// workers over their tiles has completed. The Clock policy keys its
+// reference test on this counter — entries touched in the current epoch are
+// protected, entries untouched for k epochs become victims — and a "cache
+// full" decline settles admission only until the next epoch. A no-op for
+// the other policies.
+func (c *Cache) AdvanceEpoch() {
+	c.mu.Lock()
+	c.epoch++
+	c.mu.Unlock()
+}
+
+// Remove drops the entry with the given id, reporting whether it was
+// present. Freed capacity un-settles earlier admission declines, so callers
+// whose tile assignment changes (rebalance, shard handoff) can evict the
+// departed tiles and have the cache re-admit the remaining workload.
+func (c *Cache) Remove(id int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[id]
+	c.removeLocked(id)
+	return ok
+}
 
 // Get returns the cached tile with the given id, or (nil, false) on a miss.
 // For compressed modes the tile is decompressed and decoded on the fly;
@@ -152,7 +293,12 @@ func (c *Cache) GetInto(id int, dst *csr.Tile) (*csr.Tile, bool) {
 		c.mu.Unlock()
 		return nil, false
 	}
-	c.lru.MoveToFront(e.elem)
+	if c.policy != Clock {
+		// Clock keeps its ring in insertion order; the reference test below
+		// carries all the recency information it needs.
+		c.lru.MoveToFront(e.elem)
+	}
+	e.lastEpoch = c.epoch
 	c.stats.Hits++
 	tile, blob := e.tile, e.blob
 	c.mu.Unlock()
@@ -195,19 +341,27 @@ func (c *Cache) Put(id int, t *csr.Tile) error {
 	if c.capacity <= 0 {
 		return nil
 	}
-	if c.policy == AdmitNoEvict {
+	if c.policy != LRU {
 		// Skip the compression work when even an optimistic size estimate
-		// cannot fit: once the cache fills, later misses must not keep
-		// paying compression CPU for entries that will be declined.
+		// cannot be admitted: once the cache fills, later misses must not
+		// keep paying compression CPU for entries that will be declined.
+		// For Clock the check consults the victim scan (an admission by
+		// eviction is still worth compressing for) and a failed scan
+		// settles declines for the rest of the epoch.
 		optimistic := int64(float64(t.SizeBytes()) / c.mode.ExpectedRatio())
 		c.mu.Lock()
-		full := c.bytes+optimistic > c.capacity
-		_, present := c.entries[id]
-		if full && !present {
-			c.declined = true
+		skip := false
+		if _, present := c.entries[id]; !present && c.bytes+optimistic > c.capacity {
+			switch c.policy {
+			case AdmitNoEvict:
+				c.declined = true
+				skip = true
+			case Clock:
+				skip = !c.clockAdmissibleLocked(optimistic)
+			}
 		}
 		c.mu.Unlock()
-		if full && !present {
+		if skip {
 			return nil
 		}
 	}
@@ -230,31 +384,98 @@ func (c *Cache) Put(id int, t *csr.Tile) error {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if old, ok := c.entries[id]; ok {
-		c.bytes -= old.size
-		c.lru.Remove(old.elem)
-		delete(c.entries, id)
+	c.removeLocked(id) // replacement: drop the old entry first
+	if !c.ensureRoomLocked(e.size) {
+		return nil
 	}
-	if c.policy == AdmitNoEvict {
-		if c.bytes+e.size > c.capacity {
-			c.declined = true
-			return nil // full: the paper's cache simply declines (§IV-B)
-		}
-	} else {
-		for c.bytes+e.size > c.capacity {
+	e.elem = c.lru.PushFront(e)
+	e.lastEpoch = c.epoch // admissions count as a touch: protected this sweep
+	c.entries[id] = e
+	c.bytes += e.size
+	return nil
+}
+
+// ensureRoomLocked makes room for size more bytes according to the policy,
+// reporting whether the insertion may proceed.
+func (c *Cache) ensureRoomLocked(size int64) bool {
+	if c.bytes+size <= c.capacity {
+		return true
+	}
+	switch c.policy {
+	case AdmitNoEvict:
+		c.declined = true
+		return false // full: the paper's cache simply declines (§IV-B)
+	case LRU:
+		for c.bytes+size > c.capacity {
 			back := c.lru.Back()
 			if back == nil {
 				break
 			}
-			victim := back.Value.(*entry)
-			c.removeLocked(victim.id)
+			c.removeLocked(back.Value.(*entry).id)
 			c.stats.Evictions++
 		}
+		return c.bytes+size <= c.capacity
+	case Clock:
+		need := c.bytes + size - c.capacity
+		if !c.clockAdmissibleLocked(size) {
+			return false
+		}
+		c.clockEvictLocked(need)
+		return c.bytes+size <= c.capacity
 	}
-	e.elem = c.lru.PushFront(e)
-	c.entries[id] = e
-	c.bytes += e.size
-	return nil
+	return false
+}
+
+// clockAdmissibleLocked reports whether a tile of the given size could be
+// admitted right now: either it fits directly, or enough aged entries exist
+// to evict (a dry scan — nothing is removed). A failed eviction scan
+// settles declines for same-or-larger tiles until the next epoch, since
+// within an epoch the victim set can only shrink; a smaller tile needs
+// less room and still gets its own scan.
+func (c *Cache) clockAdmissibleLocked(size int64) bool {
+	if c.bytes+size <= c.capacity {
+		return true
+	}
+	if c.declinedEpoch == c.epoch && size >= c.declinedSize {
+		return false
+	}
+	need := c.bytes + size - c.capacity
+	if c.clockVictimBytesLocked(need) >= need {
+		return true
+	}
+	if c.declinedEpoch != c.epoch || size < c.declinedSize {
+		c.declinedSize = size
+	}
+	c.declinedEpoch = c.epoch
+	return false
+}
+
+// clockVictimBytesLocked sums the sizes of eviction victims — entries
+// untouched for at least `chances` consecutive epochs — sweeping the ring
+// oldest-admission-first and stopping as soon as `need` bytes are found.
+func (c *Cache) clockVictimBytesLocked(need int64) int64 {
+	var avail int64
+	for el := c.lru.Back(); el != nil && avail < need; el = el.Prev() {
+		if e := el.Value.(*entry); c.epoch-e.lastEpoch >= c.chances {
+			avail += e.size
+		}
+	}
+	return avail
+}
+
+// clockEvictLocked removes victims in the same sweep order until `need`
+// bytes have been freed.
+func (c *Cache) clockEvictLocked(need int64) {
+	var freed int64
+	for el := c.lru.Back(); el != nil && freed < need; {
+		prev := el.Prev()
+		if e := el.Value.(*entry); c.epoch-e.lastEpoch >= c.chances {
+			freed += e.size
+			c.removeLocked(e.id)
+			c.stats.Evictions++
+		}
+		el = prev
+	}
 }
 
 // GetOrLoad returns the cached tile or loads it with the supplied function,
@@ -286,16 +507,32 @@ func (c *Cache) GetOrLoadInto(id int, dst *csr.Tile, load func(dst *csr.Tile) (*
 	into, scratchDecoded := dst, false
 	if c.mode == compress.None && c.capacity > 0 {
 		// In mode None, Put retains the decoded tile itself, so it must own
-		// its memory. Before the first decline, decode fresh so the cache
-		// can take the tile directly; after it, decode into caller scratch
-		// (the common full-cache steady state) and clone below only in the
-		// rare case a smaller tile still fits.
-		c.mu.Lock()
-		settled := c.policy == AdmitNoEvict && c.declined
-		c.mu.Unlock()
-		if settled {
+		// its memory.
+		switch c.policy {
+		case AdmitNoEvict:
+			// Before the first decline, decode fresh so the cache can take
+			// the tile directly; after it, decode into caller scratch (the
+			// common full-cache steady state) and clone below only in the
+			// rare case a smaller tile still fits.
+			c.mu.Lock()
+			settled := c.declined
+			c.mu.Unlock()
+			if settled {
+				scratchDecoded = true
+			} else {
+				into = nil
+			}
+		case Clock:
+			// Clock admissions can happen at any point of the run (entries
+			// age out whenever the working set shifts), so the cache never
+			// settles into taking ownership of every decoded tile. Always
+			// decode into caller scratch and deep-copy only tiles actually
+			// admitted: zero copies — and zero allocations — in the steady
+			// state where the resident set is stable and misses decline.
 			scratchDecoded = true
-		} else {
+		default:
+			// LRU admits every tile, evicting others to fit, so it must own
+			// the decoded memory.
 			into = nil
 		}
 	}
@@ -307,12 +544,20 @@ func (c *Cache) GetOrLoadInto(id int, dst *csr.Tile, load func(dst *csr.Tile) (*
 		// Preserve the paper's per-insertion admission (§IV-B): a tile that
 		// still fits is admitted even after earlier declines, but it must
 		// own its memory, so pay for a deep copy only when it will be kept.
+		// Under Clock, "fits" extends to admission by evicting aged entries.
 		size := t.SizeBytes()
 		c.mu.Lock()
 		_, present := c.entries[id]
-		fits := !present && size <= c.capacity && c.bytes+size <= c.capacity
+		admit := !present && size <= c.capacity
+		if admit {
+			if c.policy == Clock {
+				admit = c.clockAdmissibleLocked(size)
+			} else {
+				admit = c.bytes+size <= c.capacity
+			}
+		}
 		c.mu.Unlock()
-		if fits {
+		if admit {
 			if err := c.Put(id, t.Clone()); err != nil {
 				return nil, err
 			}
@@ -335,6 +580,11 @@ func (c *Cache) removeLocked(id int) {
 	c.bytes -= e.size
 	c.lru.Remove(e.elem)
 	delete(c.entries, id)
+	// Freed capacity un-settles earlier declines: the next insertion must be
+	// reconsidered instead of being turned away by stale full-cache state
+	// (the ROADMAP re-admission fix).
+	c.declined = false
+	c.declinedEpoch = noEpoch
 }
 
 // Stats returns a snapshot of the cache statistics.

@@ -13,6 +13,17 @@
 // The transport optionally models per-node NIC bandwidth the same way
 // package disk models HDD bandwidth, so network-bound behaviour (Figure 8)
 // is observable at laptop scale.
+//
+// On top of the blocking transport sits Sender, the asynchronous broadcast
+// pipeline of §IV-C's compute/communication overlap: one bounded queue and
+// one drain goroutine per destination, cycling pooled refcounted wire
+// buffers (Buf). Ownership invariant: a caller owns a Buf from Acquire
+// until Send/Broadcast/Release, after which it must not touch it — the
+// refcount covers every destination before the first enqueue and the last
+// write returns the buffer to the pool. Flush drains all queues before the
+// BSP barrier so no message is ever stranded behind it; an asynchronous
+// send error aborts the cluster so blocked peers unwind. The full protocol
+// is documented in docs/ARCHITECTURE.md.
 package cluster
 
 import (

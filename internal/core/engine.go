@@ -15,6 +15,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/compress"
+	"repro/internal/costmodel"
 	"repro/internal/csr"
 	"repro/internal/disk"
 	"repro/internal/spe"
@@ -46,6 +47,13 @@ type Config struct {
 	CacheAuto bool
 	// CacheMode is the fixed cache codec when CacheAuto is false.
 	CacheMode compress.Mode
+	// CachePolicyAuto picks the eviction policy from the costmodel: CLOCK
+	// when the capacity cannot hold the expected cached working set (so
+	// eviction decisions matter), the paper's AdmitNoEvict otherwise.
+	CachePolicyAuto bool
+	// CachePolicy is the fixed eviction policy when CachePolicyAuto is
+	// false.
+	CachePolicy cache.Policy
 	// MsgCodec compresses update broadcasts (§IV-C); the paper's default
 	// is snappy (set by DefaultConfig).
 	MsgCodec compress.Mode
@@ -81,10 +89,11 @@ type Config struct {
 // replication and Bloom tile skipping.
 func DefaultConfig(numServers int) Config {
 	return Config{
-		NumServers: numServers,
-		MsgCodec:   compress.Snappy,
-		CacheAuto:  true,
-		BloomSkip:  true,
+		NumServers:      numServers,
+		MsgCodec:        compress.Snappy,
+		CacheAuto:       true,
+		CachePolicyAuto: true,
+		BloomSkip:       true,
 	}
 }
 
@@ -486,7 +495,18 @@ func (s *server) setup() error {
 	if s.cfg.CacheAuto {
 		mode = compress.SelectCacheMode(totalEnc, capacity)
 	}
-	s.cache, err = cache.New(capacity, mode)
+	policy := s.cfg.CachePolicy
+	if s.cfg.CachePolicyAuto {
+		// The bytes competing for capacity are the tiles as the chosen mode
+		// stores them: decoded (≈ encoded size) for mode None, an expected
+		// γ-fold smaller for the compressed modes.
+		expectedCached := int64(float64(totalEnc) / mode.ExpectedRatio())
+		policy = cache.AdmitNoEvict
+		if costmodel.SelectClockPolicy(expectedCached, capacity) {
+			policy = cache.Clock
+		}
+	}
+	s.cache, err = cache.NewWithPolicy(capacity, mode, policy)
 	if err != nil {
 		return err
 	}
@@ -528,6 +548,12 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 	var updatedBuf []uint32
 
 	for step := 0; step < s.cfg.MaxSupersteps; step++ {
+		if step > 0 {
+			// Superstep boundary: one full cyclic sweep over the assigned
+			// tiles has completed. The CLOCK eviction policy keys its
+			// reference bits on this epoch counter (§IV-B extension).
+			s.cache.AdvanceEpoch()
+		}
 		stepStart := time.Now()
 		st := StepStats{Superstep: step}
 
@@ -850,6 +876,7 @@ func (s *server) fillServerStats() {
 	st.Disk = s.store.Counters()
 	st.Cache = cs
 	st.CacheMode = s.cache.Mode()
+	st.CachePolicy = s.cache.Policy()
 }
 
 // mergeSteps folds the per-server step stats into cluster-wide rows: sums

@@ -10,6 +10,17 @@
 // accumulator, and Broadcast ships changed values to the other replicas.
 // Supersteps are bulk-synchronous (Algorithm 5); the program terminates when
 // a superstep updates no vertex.
+//
+// The superstep loop is pipelined (§IV-C): workers enqueue encoded update
+// batches on the cluster.Sender and move to their next tile while a
+// concurrent receive loop decodes foreign batches into per-sender staging.
+// Determinism invariant: staged updates are applied only after local
+// compute finishes, in sender-rank order, so every Gather reads
+// step-(k−1) values and results are bit-identical to a serial run. The
+// loop also notifies the edge cache at every superstep boundary
+// (cache.AdvanceEpoch) — the clock that drives the superstep-aware CLOCK
+// eviction policy of §IV-B. Steady-state supersteps allocate nothing on
+// the tile path (pinned by TestProcessTileSteadyStateAllocs).
 package core
 
 import "math"

@@ -46,6 +46,9 @@ type ServerStats struct {
 	Cache cache.Stats
 	// CacheMode is the codec the cache ran with (auto-selected or fixed).
 	CacheMode compress.Mode
+	// CachePolicy is the eviction policy the cache ran with (auto-selected
+	// or fixed).
+	CachePolicy cache.Policy
 	// BytesSent and BytesRecv are the server's network totals.
 	BytesSent int64
 	BytesRecv int64

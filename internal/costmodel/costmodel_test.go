@@ -143,3 +143,44 @@ func TestParams(t *testing.T) {
 		t.Fatal("empty graph avg degree")
 	}
 }
+
+func TestCyclicHitRatio(t *testing.T) {
+	if r := CyclicHitRatio(100, 100); r != 1 {
+		t.Fatalf("full capacity ratio %g, want 1", r)
+	}
+	if r := CyclicHitRatio(100, 50); r != 0.5 {
+		t.Fatalf("half capacity ratio %g, want 0.5", r)
+	}
+	if r := CyclicHitRatio(100, 0); r != 0 {
+		t.Fatalf("no capacity ratio %g, want 0", r)
+	}
+	if r := CyclicHitRatio(0, 0); r != 1 {
+		t.Fatalf("empty working set ratio %g, want 1", r)
+	}
+}
+
+func TestLRUCyclicHitRatio(t *testing.T) {
+	if r := LRUCyclicHitRatio(100, 100); r != 1 {
+		t.Fatalf("LRU with full capacity %g, want 1", r)
+	}
+	// The cyclic-sweep cliff: one byte short of the working set and LRU
+	// evicts every tile just before its reuse.
+	if r := LRUCyclicHitRatio(100, 99); r != 0 {
+		t.Fatalf("LRU one byte short %g, want 0", r)
+	}
+}
+
+func TestSelectClockPolicy(t *testing.T) {
+	if !SelectClockPolicy(100, 50) {
+		t.Fatal("constrained capacity must select CLOCK")
+	}
+	if SelectClockPolicy(100, 100) {
+		t.Fatal("sufficient capacity must keep the paper's admit-no-evict")
+	}
+	if SelectClockPolicy(100, 0) {
+		t.Fatal("a disabled cache needs no eviction policy")
+	}
+	if SelectClockPolicy(100, -1) {
+		t.Fatal("negative capacity means disabled")
+	}
+}
