@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-codec fuzz fuzz-ci race ci check docs-check
+.PHONY: all build test vet bench bench-codec bench-smoke fuzz fuzz-ci race ci check docs-check
 
 all: check
 
@@ -27,9 +27,18 @@ ci: build vet test
 race:
 	$(GO) test -race -count=1 ./internal/cluster/ ./internal/core/
 
-# check is the default gate: tier-1 plus race, a short fuzz budget, and the
-# documentation gate.
-check: ci race fuzz-ci docs-check
+# check is the default gate: tier-1 plus race, a short fuzz budget, the
+# documentation gate and the perf smoke pass.
+check: ci race fuzz-ci docs-check bench-smoke
+
+# bench-smoke is the fast perf sanity pass: the skewed-partition
+# rebalancing experiment at a tiny scale (exercises migration end to end
+# and checks bit-identical results) plus the allocation guards on the
+# pipelined send and receive paths.
+bench-smoke:
+	GRAPHH_BENCH_SCALE=0.05 $(GO) run ./cmd/graphh-bench -exp skew -supersteps 8
+	$(GO) test ./internal/cluster/ -run TestRecvSteadyStateAllocs -count=1
+	$(GO) test ./internal/core/ -run TestProcessTileSteadyStateAllocs -count=1
 
 # docs-check keeps the documentation honest: every example and command must
 # compile, gofmt must be clean repo-wide, and every `make <target>` command
@@ -66,3 +75,4 @@ fuzz:
 fuzz-ci:
 	$(GO) test ./internal/csr/ -run xxx -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/comm/ -run xxx -fuzz FuzzDecodeInto -fuzztime 10s
+	$(GO) test ./internal/core/ -run xxx -fuzz FuzzDecodeRebalance -fuzztime 10s

@@ -38,6 +38,8 @@ func main() {
 		top        = flag.Int("top", 10, "print the top-K vertices by value")
 		diskBW     = flag.Int64("disk-bw", 0, "disk bandwidth model, bytes/s (0 = unthrottled)")
 		netBW      = flag.Int64("net-bw", 0, "network bandwidth model, bytes/s (0 = unlimited)")
+		rebalance  = flag.Bool("rebalance", true, "migrate tiles off straggling servers between supersteps")
+		rebalRatio = flag.Float64("rebalance-ratio", 0, "straggler trigger: server step cost over ratio x cluster mean (0 = 1.3)")
 	)
 	flag.Parse()
 
@@ -75,6 +77,8 @@ func main() {
 		DiskReadBandwidth:  *diskBW,
 		DiskWriteBandwidth: *diskBW,
 		NetBandwidth:       *netBW,
+		DisableRebalance:   !*rebalance,
+		RebalanceRatio:     *rebalRatio,
 	}
 	if *tcp {
 		opts.Transport = graphh.TransportTCP
@@ -111,6 +115,15 @@ func main() {
 		res.Duration.Round(1e6), res.AvgStepDuration().Round(1e5))
 	fmt.Printf("network: %.2f MB total; peak server memory: %.2f MB\n",
 		float64(res.TotalWireBytes())/1e6, float64(res.PeakMemoryBytes())/1e6)
+	var migrated int
+	var migratedMB float64
+	for _, st := range res.Steps {
+		migrated += st.MigratedTiles
+		migratedMB += float64(st.MigrationBytes) / 1e6
+	}
+	if migrated > 0 {
+		fmt.Printf("rebalancer: migrated %d tiles (%.2f MB) mid-run\n", migrated, migratedMB)
+	}
 	for _, sv := range res.Servers {
 		fmt.Printf("  server %d: mem %.2f MB, disk read %.2f MB, cache hit %.1f%% (%s/%s)\n",
 			sv.Server, float64(sv.MemoryBytes)/1e6,

@@ -204,8 +204,20 @@ type Options struct {
 	// as the ablation baseline for the pipelined-vs-lockstep comparison.
 	Lockstep bool
 	// SendQueueCap bounds each destination's pipelined send queue; full
-	// queues backpressure compute workers (default 32).
+	// queues backpressure compute workers. 0 (the default) sizes the
+	// queues adaptively from the observed stall/high-water signal; a
+	// positive value is a static override.
 	SendQueueCap int
+	// DisableRebalance turns off the superstep-boundary tile rebalancer.
+	// By default (multi-server, All-in-All) the engine measures per-tile
+	// compute time and migrates tiles off a straggling server between
+	// supersteps; results are bit-identical either way, so the knob exists
+	// for ablation and for pinning an assignment under study.
+	DisableRebalance bool
+	// RebalanceRatio overrides the straggler trigger: rebalance when a
+	// server's step cost exceeds ratio × the cluster mean (0 = the 1.3
+	// default).
+	RebalanceRatio float64
 	// WorkDir hosts per-server scratch stores; "" = temp dir.
 	WorkDir string
 }
@@ -245,6 +257,10 @@ func (o Options) engineConfig() core.Config {
 	}
 	cfg.Lockstep = o.Lockstep
 	cfg.SendQueueCap = o.SendQueueCap
+	if o.DisableRebalance {
+		cfg.Rebalance = core.RebalanceOff
+	}
+	cfg.RebalanceRatio = o.RebalanceRatio
 	cfg.WorkDir = o.WorkDir
 	return cfg
 }

@@ -92,17 +92,46 @@ type Metrics struct {
 	Enqueued       int64
 }
 
-// message is the unit moved by transports.
+// message is the unit moved by transports. payload is the received bytes;
+// pool, when non-nil, is the pooled holder backing payload — whoever
+// finishes with the message returns it via putWireBuf (RecvStream does this
+// after the callback; Recv instead detaches the buffer and hands ownership
+// to the caller).
 type message struct {
 	from    int
 	payload []byte
+	pool    *[]byte
 }
 
 // transport is the substrate interface shared by Inproc and TCP.
 type transport interface {
 	send(from, to int, payload []byte) error
-	recv(node int) (from int, payload []byte, err error)
+	recv(node int) (message, error)
 	close() error
+}
+
+// wirePool recycles inbound payload buffers. Both transports materialize
+// one buffer per received message (the inproc copy, the TCP frame read);
+// cycling them through this pool makes the steady-state receive path
+// allocation-free. Holders keep their grown capacity, so after warm-up a
+// superstep's worth of receives reuses the same few buffers.
+var wirePool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getWireBuf returns an n-byte payload slice backed by a pooled holder.
+func getWireBuf(n int) ([]byte, *[]byte) {
+	h := wirePool.Get().(*[]byte)
+	if cap(*h) < n {
+		*h = make([]byte, n)
+	}
+	return (*h)[:n], h
+}
+
+// putWireBuf recycles a holder obtained from getWireBuf. nil is a no-op so
+// callers can release unconditionally.
+func putWireBuf(h *[]byte) {
+	if h != nil {
+		wirePool.Put(h)
+	}
 }
 
 // Cluster is a set of N simulated server nodes.
@@ -290,28 +319,47 @@ func (n *Node) Broadcast(payload []byte) error {
 }
 
 // Recv blocks until a message addressed to this node arrives, returning the
-// sender's rank and the payload.
+// sender's rank and the payload. The caller owns the payload: its backing
+// buffer is detached from the receive pool, so it stays valid indefinitely
+// at the cost of one pool miss downstream. Hot receive loops should prefer
+// RecvStream, which keeps buffers cycling.
 func (n *Node) Recv() (from int, payload []byte, err error) {
-	from, payload, err = n.c.tr.recv(n.id)
-	if err == nil {
-		n.c.recvd[n.id].Add(int64(len(payload)))
-		n.c.msgsR[n.id].Add(1)
+	m, err := n.recvMsg()
+	if err != nil {
+		return 0, nil, err
 	}
-	return from, payload, err
+	// Ownership transfers to the caller; the holder is simply not recycled.
+	return m.from, m.payload, nil
+}
+
+// recvMsg is the shared receive path: one transport recv plus traffic
+// accounting. The returned message may carry a pooled holder.
+func (n *Node) recvMsg() (message, error) {
+	m, err := n.c.tr.recv(n.id)
+	if err != nil {
+		return message{}, err
+	}
+	n.c.recvd[n.id].Add(int64(len(m.payload)))
+	n.c.msgsR[n.id].Add(1)
+	return m, nil
 }
 
 // RecvStream receives exactly count messages, invoking fn for each one as
-// it arrives — the streaming counterpart of RecvN. The payload passed to fn
-// is owned by the callback (transports never reuse it), but fn runs on the
-// caller's goroutine, so a slow callback delays subsequent receives. A
-// callback error stops the stream and is returned as-is.
+// it arrives — the streaming counterpart of RecvN, and the allocation-free
+// receive path: each payload's backing buffer is recycled into the receive
+// pool the moment fn returns, so fn must not retain the payload (copy what
+// it needs). fn runs on the caller's goroutine, so a slow callback delays
+// subsequent receives. A callback error stops the stream and is returned
+// as-is.
 func (n *Node) RecvStream(count int, fn func(from int, payload []byte) error) error {
 	for i := 0; i < count; i++ {
-		from, p, err := n.Recv()
+		m, err := n.recvMsg()
 		if err != nil {
 			return err
 		}
-		if err := fn(from, p); err != nil {
+		err = fn(m.from, m.payload)
+		putWireBuf(m.pool)
+		if err != nil {
 			return err
 		}
 	}
@@ -319,20 +367,27 @@ func (n *Node) RecvStream(count int, fn func(from int, payload []byte) error) er
 }
 
 // RecvN receives exactly count messages, the per-superstep gather pattern
-// (each node expects one update broadcast from every peer).
+// (each node expects one update broadcast from every peer). The returned
+// payloads are caller-owned (never recycled).
 func (n *Node) RecvN(count int) ([][]byte, []int, error) {
 	payloads := make([][]byte, 0, count)
 	froms := make([]int, 0, count)
-	err := n.RecvStream(count, func(from int, p []byte) error {
+	for i := 0; i < count; i++ {
+		from, p, err := n.Recv()
+		if err != nil {
+			return nil, nil, err
+		}
 		payloads = append(payloads, p)
 		froms = append(froms, from)
-		return nil
-	})
-	if err != nil {
-		return nil, nil, err
 	}
 	return payloads, froms, nil
 }
+
+// Metrics returns a snapshot of this node's traffic counters — the same
+// data as Cluster.NodeMetrics, reachable from the node handle so a server
+// program can observe its own backpressure signal mid-run (the adaptive
+// send-queue sizing reads SendStalls/QueueHighWater between supersteps).
+func (n *Node) Metrics() Metrics { return n.c.NodeMetrics(n.id) }
 
 // Barrier blocks until every node in the cluster has reached it — the BSP
 // synchronization point of Algorithm 5 line 17.

@@ -7,9 +7,11 @@ import (
 
 // inprocTransport moves messages over per-node buffered channels. Payloads
 // are copied on send so that senders may reuse their buffers, matching the
-// semantics of the TCP transport. Shutdown is signalled through a done
-// channel rather than by closing the inboxes, so concurrent senders never
-// race a channel close.
+// semantics of the TCP transport; the copies come from the shared receive
+// pool and are recycled by RecvStream, so the steady-state receive path
+// allocates nothing. Shutdown is signalled through a done channel rather
+// than by closing the inboxes, so concurrent senders never race a channel
+// close.
 type inprocTransport struct {
 	inboxes   []chan message
 	done      chan struct{}
@@ -28,33 +30,34 @@ func newInprocTransport(n, capacity int) *inprocTransport {
 }
 
 func (t *inprocTransport) send(from, to int, payload []byte) error {
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
 	select {
 	case <-t.done:
 		return fmt.Errorf("cluster: send: %w", ErrClosed)
 	default:
 	}
+	cp, h := getWireBuf(len(payload))
+	copy(cp, payload)
 	select {
-	case t.inboxes[to] <- message{from: from, payload: cp}:
+	case t.inboxes[to] <- message{from: from, payload: cp, pool: h}:
 		return nil
 	case <-t.done:
+		putWireBuf(h)
 		return fmt.Errorf("cluster: send: %w", ErrClosed)
 	}
 }
 
-func (t *inprocTransport) recv(node int) (int, []byte, error) {
+func (t *inprocTransport) recv(node int) (message, error) {
 	select {
 	case msg := <-t.inboxes[node]:
-		return msg.from, msg.payload, nil
+		return msg, nil
 	case <-t.done:
 		// Drain any message that raced the shutdown signal.
 		select {
 		case msg := <-t.inboxes[node]:
-			return msg.from, msg.payload, nil
+			return msg, nil
 		default:
 		}
-		return 0, nil, fmt.Errorf("cluster: recv: %w", ErrClosed)
+		return message{}, fmt.Errorf("cluster: recv: %w", ErrClosed)
 	}
 }
 

@@ -148,20 +148,25 @@ func newTCPTransport(n, capacity int) (*tcpTransport, error) {
 
 func (t *tcpTransport) readLoop(owner int, conn net.Conn) {
 	defer t.wg.Done()
+	// One header buffer per connection, hoisted out of the loop: passed
+	// through the io.Reader interface it escapes, and a per-frame array
+	// would cost an allocation per received message.
+	var hdr [8]byte
 	for {
-		var hdr [8]byte
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return // connection closed
 		}
 		length := binary.BigEndian.Uint32(hdr[0:])
 		from := int(binary.BigEndian.Uint32(hdr[4:]))
-		payload := make([]byte, length)
+		payload, h := getWireBuf(int(length))
 		if _, err := io.ReadFull(conn, payload); err != nil {
+			putWireBuf(h)
 			return
 		}
 		select {
-		case t.inboxes[owner] <- message{from: from, payload: payload}:
+		case t.inboxes[owner] <- message{from: from, payload: payload, pool: h}:
 		case <-t.done:
+			putWireBuf(h)
 			return
 		}
 	}
@@ -170,12 +175,13 @@ func (t *tcpTransport) readLoop(owner int, conn net.Conn) {
 func (t *tcpTransport) send(from, to int, payload []byte) error {
 	if from == to {
 		// Loopback without a socket, mirroring MPI self-sends.
-		cp := make([]byte, len(payload))
+		cp, h := getWireBuf(len(payload))
 		copy(cp, payload)
 		select {
-		case t.inboxes[to] <- message{from: from, payload: cp}:
+		case t.inboxes[to] <- message{from: from, payload: cp, pool: h}:
 			return nil
 		case <-t.done:
+			putWireBuf(h)
 			return fmt.Errorf("cluster: send: %w", ErrClosed)
 		}
 	}
@@ -186,33 +192,42 @@ func (t *tcpTransport) send(from, to int, payload []byte) error {
 	if closed || conn == nil {
 		return fmt.Errorf("cluster: no tcp connection %d->%d", from, to)
 	}
-	var hdr [8]byte
+	// The frame header goes through the net.Conn interface, so a stack
+	// array would escape and cost an allocation per sent message; draw it
+	// from a pool instead.
+	hp := hdrPool.Get().(*[8]byte)
+	hdr := hp[:]
 	binary.BigEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.BigEndian.PutUint32(hdr[4:], uint32(from))
 	mu := t.writeMu[from][to]
 	mu.Lock()
 	defer mu.Unlock()
-	if _, err := conn.Write(hdr[:]); err != nil {
+	if _, err := conn.Write(hdr); err != nil {
+		hdrPool.Put(hp)
 		return fmt.Errorf("cluster: tcp send header %d->%d: %w", from, to, err)
 	}
+	hdrPool.Put(hp)
 	if _, err := conn.Write(payload); err != nil {
 		return fmt.Errorf("cluster: tcp send payload %d->%d: %w", from, to, err)
 	}
 	return nil
 }
 
-func (t *tcpTransport) recv(node int) (int, []byte, error) {
+// hdrPool recycles TCP frame headers (see send).
+var hdrPool = sync.Pool{New: func() any { return new([8]byte) }}
+
+func (t *tcpTransport) recv(node int) (message, error) {
 	select {
 	case msg := <-t.inboxes[node]:
-		return msg.from, msg.payload, nil
+		return msg, nil
 	case <-t.done:
 		// Drain any message that raced the shutdown signal.
 		select {
 		case msg := <-t.inboxes[node]:
-			return msg.from, msg.payload, nil
+			return msg, nil
 		default:
 		}
-		return 0, nil, fmt.Errorf("cluster: recv: %w", ErrClosed)
+		return message{}, fmt.Errorf("cluster: recv: %w", ErrClosed)
 	}
 }
 

@@ -76,8 +76,38 @@ type Config struct {
 	// pre-pipeline behaviour, kept as the ablation baseline (see PERF.md).
 	Lockstep bool
 	// SendQueueCap bounds each destination's asynchronous send queue in the
-	// pipelined subsystem; full queues backpressure workers. Default 32.
+	// pipelined subsystem; full queues backpressure workers. 0 (default)
+	// sizes the queues adaptively: start at 32, double on observed send
+	// stalls, shrink after a sustained quiet spell (costmodel.AdaptQueueCap).
+	// A positive value is a static override.
 	SendQueueCap int
+	// Rebalance enables the superstep-boundary tile rebalancer (see
+	// rebalance.go and docs/ARCHITECTURE.md): per-tile compute timings feed
+	// a straggler detector on rank 0, and victim tiles migrate off a slow
+	// server between supersteps. RebalanceOff is the zero value;
+	// DefaultConfig selects RebalanceAuto. Requires a multi-server cluster
+	// and All-in-All replication; silently off otherwise. Results are
+	// bit-identical either way.
+	Rebalance RebalanceMode
+	// RebalanceRatio is the straggler trigger: rebalance when a server's
+	// measured step cost exceeds ratio × the cluster mean. 0 means
+	// costmodel.DefaultStragglerRatio.
+	RebalanceRatio float64
+	// RebalanceMinStep suppresses rebalancing while the straggler's step
+	// cost is below it (short steps are timing noise). 0 means 1ms;
+	// negative means no floor.
+	RebalanceMinStep time.Duration
+	// RebalancePlanHook, when non-nil, replaces the costmodel planner on
+	// the coordinator: it receives every server's per-tile costs and
+	// returns the migration plan verbatim. Deterministic migrations for
+	// tests and experiments.
+	RebalancePlanHook func(step int, costs [][]costmodel.TileCost) []costmodel.Move
+	// Assignment overrides stage-two tile placement (nil = round-robin
+	// tile.Assign) — skewed placements for straggler experiments. It must
+	// pass tile.Assignment.Validate (full coverage, each server's list in
+	// ascending tile order). This is the initial table only: the
+	// rebalancer may move tiles afterwards.
+	Assignment *tile.Assignment
 	// DiskFailureHook, when non-nil, is installed on every server's local
 	// tile store — failure injection for tests (see disk.Store).
 	DiskFailureHook func(server int, op, name string) error
@@ -94,6 +124,7 @@ func DefaultConfig(numServers int) Config {
 		CacheAuto:       true,
 		CachePolicyAuto: true,
 		BloomSkip:       true,
+		Rebalance:       RebalanceAuto,
 	}
 }
 
@@ -156,9 +187,19 @@ func (e *Engine) Run(in Input, prog Program) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	assign, err := tile.Assign(numTiles, cfg.NumServers)
-	if err != nil {
-		return nil, err
+	assign := cfg.Assignment
+	if assign == nil {
+		assign, err = tile.Assign(numTiles, cfg.NumServers)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if assign.NumServers != cfg.NumServers {
+			return nil, fmt.Errorf("core: assignment is for %d servers, cluster has %d", assign.NumServers, cfg.NumServers)
+		}
+		if err := assign.Validate(numTiles); err != nil {
+			return nil, err
+		}
 	}
 
 	workDir := cfg.WorkDir
@@ -312,6 +353,21 @@ type server struct {
 	// one-NIC-per-server model the async queues preserve per destination.
 	sender *cluster.Sender
 	bmu    sync.Mutex
+
+	// Adaptive send-queue sizing state: the current per-destination
+	// capacity, whether the engine may resize it (SendQueueCap == 0), the
+	// stall counter at the last adjustment, and how many consecutive
+	// adjustments saw zero stalls.
+	queueCap      int
+	adaptiveQueue bool
+	lastStalls    int64
+	quietSteps    int
+
+	// rebal is the dynamic tile rebalancer (nil when off); tilesIn/Out
+	// count migrations this server received/donated.
+	rebal    *rebalancer
+	tilesIn  int
+	tilesOut int
 }
 
 // workerScratch is one worker's reusable memory for the superstep hot path:
@@ -346,9 +402,22 @@ func (s *server) run() (setupDur, loopDur time.Duration, steps []StepStats, err 
 		// gather compute with wire time. Close drains them (Flush) and is
 		// safe on error paths — peers keep receiving until every expected
 		// batch of the step has arrived, so queued messages always drain.
-		s.sender = s.node.NewSender(s.cfg.SendQueueCap)
-		defer s.sender.Close()
+		// SendQueueCap 0 starts at the classic 32 and lets the superstep
+		// loop resize from observed backpressure; the deferred Close runs
+		// through a closure because resizing swaps s.sender.
+		s.queueCap = s.cfg.SendQueueCap
+		if s.queueCap <= 0 {
+			s.queueCap = 32
+			s.adaptiveQueue = true
+		}
+		s.sender = s.node.NewSender(s.queueCap)
+		defer func() {
+			if s.sender != nil {
+				s.sender.Close()
+			}
+		}()
 	}
+	s.rebal = newRebalancer(s.cfg, s.node.NumNodes())
 
 	loopStart := time.Now()
 	steps, err = s.superstepLoop()
@@ -530,10 +599,11 @@ func (s *server) setup() error {
 	return nil
 }
 
-// superstepLoop is Algorithm 5 lines 5–22.
+// superstepLoop is Algorithm 5 lines 5–22, plus the superstep-boundary
+// rebalance phase (rebalance.go) and adaptive send-queue resizing between
+// the BSP barriers.
 func (s *server) superstepLoop() ([]StepStats, error) {
 	n := s.node
-	expected := (s.total - len(s.tiles))
 	encOpts := comm.Options{
 		Choice:            s.cfg.Comm,
 		SparsityThreshold: s.cfg.SparsityThreshold,
@@ -556,6 +626,9 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 		}
 		stepStart := time.Now()
 		st := StepStats{Superstep: step}
+		// Tile migrations change ownership between steps, so the expected
+		// foreign-batch count is per-step: one broadcast per non-owned tile.
+		expected := s.total - len(s.metas)
 
 		// Pipelined receive: decode foreign batches into per-sender scratch
 		// as they arrive, concurrently with local compute. Applying waits
@@ -662,11 +735,30 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 
 		st.Updated = updatedTotal
 		st.Duration = time.Since(stepStart)
-		steps = append(steps, st)
 
+		// First barrier: every server has absorbed every update batch of
+		// this step, so no update traffic is in flight afterwards.
 		n.Barrier()
+		if updatedTotal != 0 && step+1 < s.cfg.MaxSupersteps && s.rebal != nil {
+			// Rebalance phase, only when a next superstep will actually run
+			// (migrating after the last budgeted step would ship tiles no
+			// one processes). The gate (rebal non-nil, the step budget, and
+			// updatedTotal — which is identical on every server) is
+			// evaluated identically everywhere, so either all servers enter
+			// the phase or none do.
+			if err := s.rebalanceStep(step, &st); err != nil {
+				return steps, err
+			}
+			// Second barrier: no server starts the next superstep (and its
+			// update traffic) while tiles are still moving.
+			n.Barrier()
+		}
+		steps = append(steps, st)
 		if updatedTotal == 0 {
 			break
+		}
+		if s.adaptiveQueue && s.sender != nil {
+			s.adaptSendQueue()
 		}
 		updatedBuf = newUpdated
 		prevUpdated = newUpdated
@@ -677,10 +769,39 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 	return steps, nil
 }
 
-// tileOut is the outcome of processing one tile in one superstep.
+// adaptSendQueue resizes the pipelined sender's per-destination queues from
+// the backpressure observed since the last adjustment. It runs between the
+// step's flush and the next step's first enqueue, when the queues are
+// guaranteed empty, so swapping the Sender is safe.
+func (s *server) adaptSendQueue() {
+	m := s.node.Metrics()
+	stallsDelta := m.SendStalls - s.lastStalls
+	s.lastStalls = m.SendStalls
+	if stallsDelta == 0 {
+		s.quietSteps++
+	} else {
+		s.quietSteps = 0
+	}
+	next := costmodel.AdaptQueueCap(s.queueCap, stallsDelta, m.QueueHighWater, s.quietSteps)
+	if next == s.queueCap {
+		return
+	}
+	// The old sender was flushed at the barrier; Close only reaps its drain
+	// goroutines. An asynchronous error would already have aborted the
+	// cluster, so it surfaces through the normal paths — not here.
+	s.sender.Close()
+	s.queueCap = next
+	s.quietSteps = 0
+	s.sender = s.node.NewSender(next)
+}
+
+// tileOut is the outcome of processing one tile in one superstep. nanos is
+// the tile's measured wall-clock cost (load + gather + apply + encode +
+// enqueue) — the signal the rebalancer's straggler detector consumes.
 type tileOut struct {
 	updates []comm.Update
 	enc     comm.Encoding
+	nanos   int64
 	skipped bool
 	err     error
 }
@@ -706,6 +827,8 @@ func (s *server) receiveForeign(expected int) error {
 // read buffer and the wire buffer — is reused across supersteps, so in
 // steady state this path allocates nothing.
 func (s *server) processTile(k, step int, prevUpdated []uint32, encOpts comm.Options, scr *workerScratch) (out tileOut) {
+	start := time.Now()
+	defer func() { out.nanos = time.Since(start).Nanoseconds() }()
 	meta := s.metas[k]
 	g := s.graph
 	prog := s.prog
@@ -812,20 +935,42 @@ func (s *server) collectResult() error {
 		n.Barrier()
 		return nil
 	}
-	// On-Demand: exchange target-range values.
+	// On-Demand: exchange target-range values. The sends ride the pipelined
+	// Sender when one is running, so encoding the next range overlaps the
+	// previous range's wire time instead of paying blocking sends at the
+	// run tail; rank 0 streams the batches straight into the result vector
+	// (target ranges are disjoint, so arrival order is irrelevant).
+	collectOpts := comm.Options{Choice: comm.ForceDense, Codec: compress.Snappy}
 	if n.ID() != 0 {
 		for _, meta := range s.metas {
 			ups := make([]comm.Update, 0, meta.hi-meta.lo)
 			for v := meta.lo; v < meta.hi; v++ {
 				ups = append(ups, comm.Update{ID: v, Value: s.state.get(v)})
 			}
-			msg, _, err := comm.Encode(&comm.Batch{
-				TileID: uint32(meta.id), Lo: meta.lo, Hi: meta.hi, Updates: ups,
-			}, comm.Options{Choice: comm.ForceDense, Codec: compress.Snappy})
+			batch := comm.Batch{TileID: uint32(meta.id), Lo: meta.lo, Hi: meta.hi, Updates: ups}
+			if s.sender != nil {
+				wb := s.sender.Acquire()
+				msg, _, err := comm.AppendEncode(wb.Data[:0], &batch, collectOpts)
+				if err != nil {
+					s.sender.Release(wb)
+					return err
+				}
+				wb.Data = msg
+				if err := s.sender.Send(0, wb); err != nil {
+					return err
+				}
+				continue
+			}
+			msg, _, err := comm.Encode(&batch, collectOpts)
 			if err != nil {
 				return err
 			}
 			if err := n.Send(0, msg); err != nil {
+				return err
+			}
+		}
+		if s.sender != nil {
+			if err := s.sender.Flush(); err != nil {
 				return err
 			}
 		}
@@ -835,18 +980,17 @@ func (s *server) collectResult() error {
 				s.result.Values[v] = s.state.get(v)
 			}
 		}
-		msgs, _, err := n.RecvN(s.total - len(s.tiles))
-		if err != nil {
-			return err
-		}
-		for _, m := range msgs {
-			b, _, err := comm.Decode(m)
-			if err != nil {
-				return err
+		err := n.RecvStream(s.total-len(s.metas), func(from int, m []byte) error {
+			if _, err := comm.DecodeInto(&s.recvBatch, m); err != nil {
+				return fmt.Errorf("core: server 0 decoding result batch: %w", err)
 			}
-			for _, u := range b.Updates {
+			for _, u := range s.recvBatch.Updates {
 				s.result.Values[u.ID] = u.Value
 			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 	}
 	n.Barrier()
@@ -877,6 +1021,9 @@ func (s *server) fillServerStats() {
 	st.Cache = cs
 	st.CacheMode = s.cache.Mode()
 	st.CachePolicy = s.cache.Policy()
+	st.TilesMigratedIn = s.tilesIn
+	st.TilesMigratedOut = s.tilesOut
+	st.SendQueueCap = s.queueCap
 }
 
 // mergeSteps folds the per-server step stats into cluster-wide rows: sums
@@ -904,8 +1051,13 @@ func mergeSteps(res *Result, byServer [][]StepStats) {
 			dst.SparseMsgs += st.SparseMsgs
 			dst.SkippedTiles += st.SkippedTiles
 			dst.LoadedTiles += st.LoadedTiles
+			dst.MigratedTiles += st.MigratedTiles // donor-side: one count per move
+			dst.MigrationBytes += st.MigrationBytes
 			if st.Duration > dst.Duration {
 				dst.Duration = st.Duration
+			}
+			if st.Rebalance > dst.Rebalance {
+				dst.Rebalance = st.Rebalance
 			}
 		}
 	}

@@ -26,8 +26,17 @@ type StepStats struct {
 	SkippedTiles int
 	// LoadedTiles counts tiles actually processed.
 	LoadedTiles int
+	// MigratedTiles counts tiles the rebalancer moved at this step's
+	// boundary (each move counted once, on the donor); MigrationBytes is
+	// the encoded tile volume those moves shipped.
+	MigratedTiles  int
+	MigrationBytes int64
 	// Duration is the wall-clock time of the step (max over servers).
 	Duration time.Duration
+	// Rebalance is the wall-clock time of the rebalance phase at this
+	// step's boundary (max over servers; zero when the rebalancer is off
+	// or the step converged).
+	Rebalance time.Duration
 }
 
 // ServerStats records one server's whole-run behaviour.
@@ -58,6 +67,14 @@ type ServerStats struct {
 	// and on single-server runs.
 	SendStalls         int64
 	SendQueueHighWater int64
+	// SendQueueCap is the per-destination send-queue capacity at the end of
+	// the run — adaptive sizing (Config.SendQueueCap == 0) may have moved
+	// it from the initial 32. Zero in Lockstep mode and single-server runs.
+	SendQueueCap int
+	// TilesMigratedIn and TilesMigratedOut count tiles the rebalancer moved
+	// onto and off this server mid-run.
+	TilesMigratedIn  int
+	TilesMigratedOut int
 }
 
 // Result is the outcome of one engine run.
