@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-codec bench-smoke fuzz fuzz-ci race ci check docs-check
+.PHONY: all build test vet bench bench-codec bench-smoke fuzz fuzz-ci race ci check docs-check api-check api-snapshot
 
 all: check
 
@@ -28,8 +28,8 @@ race:
 	$(GO) test -race -count=1 ./internal/cluster/ ./internal/core/
 
 # check is the default gate: tier-1 plus race, a short fuzz budget, the
-# documentation gate and the perf smoke pass.
-check: ci race fuzz-ci docs-check bench-smoke
+# documentation and API gates and the perf smoke pass.
+check: ci race fuzz-ci docs-check api-check bench-smoke
 
 # bench-smoke is the fast perf sanity pass: the skewed-partition
 # rebalancing experiment at a tiny scale (exercises migration end to end
@@ -39,6 +39,18 @@ bench-smoke:
 	GRAPHH_BENCH_SCALE=0.05 $(GO) run ./cmd/graphh-bench -exp skew -supersteps 8
 	$(GO) test ./internal/cluster/ -run TestRecvSteadyStateAllocs -count=1
 	$(GO) test ./internal/core/ -run TestProcessTileSteadyStateAllocs -count=1
+
+# api-check surfaces accidental public-API breaks: the root package's
+# `go doc -all` output must match the committed snapshot in docs/API.txt.
+# After an intentional API change, run `make api-snapshot` and commit the
+# refreshed file (the diff doubles as the API-review artifact).
+api-check:
+	@$(GO) doc -all . | diff -u docs/API.txt - \
+		|| { echo "public API drifted from docs/API.txt;"; \
+		     echo "run 'make api-snapshot' if the change is intentional"; exit 1; }
+
+api-snapshot:
+	$(GO) doc -all . > docs/API.txt
 
 # docs-check keeps the documentation honest: every example and command must
 # compile, gofmt must be clean repo-wide, and every `make <target>` command

@@ -1,4 +1,4 @@
-// Command graphh runs a vertex-centric application on a graph with the
+// Command graphh runs vertex-centric applications on a graph with the
 // GraphH engine: two-stage tile partitioning, the GAB computation model on
 // a simulated N-server cluster, edge caching and hybrid communication.
 //
@@ -7,13 +7,21 @@
 //	graphh -app pagerank -in web.bin -servers 4 -supersteps 20
 //	graphh -app sssp -source 0 -in roads.csv -servers 2
 //	graphh -app wcc -in social.bin -symmetrize
+//	graphh -program pagerank,sssp,wcc -in social.bin -symmetrize -servers 4
+//
+// -program takes a comma-separated list and runs every job over one
+// persistent session: the graph is partitioned and persisted once, and
+// each job after the first starts with a warm edge cache — the per-job
+// wall times printed make the reuse visible.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	graphh "repro"
 )
@@ -21,6 +29,7 @@ import (
 func main() {
 	var (
 		app        = flag.String("app", "pagerank", "application: pagerank, sssp, bfs, wcc")
+		programs   = flag.String("program", "", "comma-separated application list run over one session (overrides -app), e.g. pagerank,sssp,wcc")
 		in         = flag.String("in", "", "input edge list (.csv/.txt = text, else binary)")
 		dataset    = flag.String("dataset", "", "generate a named dataset instead of reading -in")
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor")
@@ -51,18 +60,35 @@ func main() {
 		g = g.Symmetrize()
 	}
 
-	var prog graphh.Program
-	switch *app {
-	case "pagerank":
-		prog = graphh.NewPageRank()
-	case "sssp":
-		prog = graphh.NewSSSP(uint32(*source))
-	case "bfs":
-		prog = graphh.NewBFS(uint32(*source))
-	case "wcc":
-		prog = graphh.NewWCC()
-	default:
-		fail(fmt.Errorf("unknown app %q", *app))
+	list := *programs
+	if list == "" {
+		list = *app
+	}
+	var names []string
+	var progs []graphh.Program
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		var prog graphh.Program
+		switch name {
+		case "pagerank":
+			prog = graphh.NewPageRank()
+		case "sssp":
+			prog = graphh.NewSSSP(uint32(*source))
+		case "bfs":
+			prog = graphh.NewBFS(uint32(*source))
+		case "wcc":
+			prog = graphh.NewWCC()
+		default:
+			fail(fmt.Errorf("unknown app %q", name))
+		}
+		names = append(names, name)
+		progs = append(progs, prog)
+	}
+	if len(progs) == 0 {
+		fail(fmt.Errorf("no application named in -program/-app"))
 	}
 
 	p, err := graphh.Partition(g, graphh.PartitionOptions{TileSize: *tileSize})
@@ -103,16 +129,42 @@ func main() {
 	}
 	opts.MessageCodec = &mc
 
-	res, err := graphh.Run(p, prog, opts)
+	sess, err := graphh.Open(p, opts)
 	if err != nil {
 		fail(err)
 	}
+	defer sess.Close()
 
 	fmt.Printf("%s on %s: |V|=%d |E|=%d tiles=%d servers=%d\n",
-		*app, g.Name, g.NumVertices, g.NumEdges(), p.NumTiles(), *servers)
-	fmt.Printf("supersteps: %d (converged=%v), setup %v, loop %v, avg step %v\n",
-		res.Supersteps, res.Converged, res.SetupDuration.Round(1e6),
-		res.Duration.Round(1e6), res.AvgStepDuration().Round(1e5))
+		strings.Join(names, ","), g.Name, g.NumVertices, g.NumEdges(), p.NumTiles(), *servers)
+	for i, prog := range progs {
+		res, err := sess.Submit(context.Background(), prog, graphh.RunOptions{})
+		if err != nil {
+			// fail exits the process, skipping the deferred Close; close
+			// here so the session's scratch tile store is removed.
+			sess.Close()
+			fail(err)
+		}
+		if len(progs) > 1 {
+			fmt.Printf("job %d/%d %s:\n", i+1, len(progs), names[i])
+		}
+		printJob(names[i], res, i == 0, *top)
+	}
+}
+
+// printJob reports one job's outcome. Setup is printed only for the first
+// job — later jobs reuse the session's persisted tiles and warm cache, and
+// their loop wall time is the whole cost.
+func printJob(name string, res *graphh.Result, first bool, top int) {
+	if first {
+		fmt.Printf("supersteps: %d (converged=%v), setup %v, loop %v, avg step %v\n",
+			res.Supersteps, res.Converged, res.SetupDuration.Round(1e6),
+			res.Duration.Round(1e6), res.AvgStepDuration().Round(1e5))
+	} else {
+		fmt.Printf("supersteps: %d (converged=%v), loop %v (warm session), avg step %v\n",
+			res.Supersteps, res.Converged,
+			res.Duration.Round(1e6), res.AvgStepDuration().Round(1e5))
+	}
 	fmt.Printf("network: %.2f MB total; peak server memory: %.2f MB\n",
 		float64(res.TotalWireBytes())/1e6, float64(res.PeakMemoryBytes())/1e6)
 	var migrated int
@@ -139,14 +191,14 @@ func main() {
 	for v, val := range res.Values {
 		ranked = append(ranked, kv{uint32(v), val})
 	}
-	descending := *app == "pagerank"
+	descending := name == "pagerank"
 	sort.Slice(ranked, func(i, j int) bool {
 		if descending {
 			return ranked[i].val > ranked[j].val
 		}
 		return ranked[i].val < ranked[j].val
 	})
-	k := *top
+	k := top
 	if k > len(ranked) {
 		k = len(ranked)
 	}

@@ -1,6 +1,7 @@
 package graphh_test
 
 import (
+	"context"
 	"fmt"
 
 	graphh "repro"
@@ -31,6 +32,43 @@ func ExampleRun() {
 	// On a regular cycle every vertex keeps rank 1/|V|.
 	fmt.Printf("rank of vertex 0: %.2f (converged=%v)\n", res.Values[0], res.Converged)
 	// Output: rank of vertex 0: 0.25 (converged=true)
+}
+
+// ExampleSession amortizes cluster setup across several jobs: the graph is
+// partitioned and persisted once, then PageRank and SSSP run back-to-back
+// against the same warm tile store and edge cache.
+func ExampleSession() {
+	g := &graphh.Graph{NumVertices: 4, Name: "cycle4"}
+	for v := uint32(0); v < 4; v++ {
+		g.Edges = append(g.Edges, graphh.Edge{Src: v, Dst: (v + 1) % 4, W: 1})
+	}
+	p, err := graphh.Partition(g, graphh.PartitionOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	s, err := graphh.Open(p, graphh.Options{Servers: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer s.Close()
+
+	ranks, err := s.Submit(context.Background(), graphh.NewPageRank(), graphh.RunOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dists, err := s.Submit(context.Background(), graphh.NewSSSP(0), graphh.RunOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("rank of vertex 0: %.2f\n", ranks.Values[0])
+	fmt.Printf("distance 0 -> 3: %g\n", dists.Values[3])
+	// Output:
+	// rank of vertex 0: 0.25
+	// distance 0 -> 3: 3
 }
 
 // ExampleRun_sssp runs single-source shortest paths on a chain.

@@ -21,6 +21,25 @@
 // in-edges into an accumulator, Apply produces the new vertex value, and the
 // engine broadcasts changes. PageRank, SSSP, BFS and WCC ship ready-made.
 //
+// # Sessions
+//
+// Run pays GraphH's full setup — cluster boot, tile persistence to every
+// server's local store, cache warm-up — on every call. A Session pays it
+// once and amortizes it across any number of jobs:
+//
+//	s, _ := graphh.Open(p, graphh.Options{Servers: 4})
+//	defer s.Close()
+//	ranks, _ := s.Submit(ctx, graphh.NewPageRank(), graphh.RunOptions{})
+//	dists, _ := s.Submit(ctx, graphh.NewSSSP(0), graphh.RunOptions{})
+//
+// Between Submits the partitioned tiles stay persisted, the edge cache
+// stays warm (a second job's first superstep is served from memory), and
+// rebalanced tile placement carries over. Each Submit resets only per-job
+// state: vertex values, halt votes, statistics, send queues. Cancelling a
+// Submit's context aborts the job at the next superstep edge and leaves
+// the session healthy; RunOptions carries the per-job knobs, including a
+// Progress callback streamed at every superstep barrier.
+//
 // # Transport pipeline
 //
 // Update broadcasts flow through an asynchronous per-destination pipeline
@@ -36,6 +55,7 @@
 package graphh
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -67,8 +87,17 @@ type Program = core.Program
 // GraphInfo is the read-only context handed to programs.
 type GraphInfo = core.Graph
 
-// Result is the outcome of a Run.
+// Result is the outcome of a Run or a Session.Submit.
 type Result = core.Result
+
+// StepStats is one superstep's statistics — the element of Result.Steps and
+// the payload of RunOptions.Progress.
+type StepStats = core.StepStats
+
+// ServerStats is one server's statistics — the element of Result.Servers.
+// Its I/O and traffic counters are cumulative since the session opened
+// (identical to whole-run totals for a plain Run); see core.ServerStats.
+type ServerStats = core.ServerStats
 
 // Transport kinds for the simulated cluster.
 const (
@@ -163,15 +192,19 @@ func Partition(g *Graph, opts PartitionOptions) (*Partitioned, error) {
 	return tile.Split(g, tile.Options{TileSize: opts.TileSize, BloomFPRate: opts.BloomFPRate})
 }
 
-// Options configures a Run. The zero value runs single-server with the
-// paper's defaults (snappy message compression, hybrid communication,
-// automatic cache mode, All-in-All replication, Bloom tile skipping).
+// Options configures a Run or an Open. The zero value runs single-server
+// with the paper's defaults (snappy message compression, hybrid
+// communication, automatic cache mode, All-in-All replication, Bloom tile
+// skipping). MaxSupersteps, Lockstep and MessageCodec are per-job settings
+// that historically lived here; on a session they act as defaults that
+// RunOptions can override per Submit.
 type Options struct {
 	// Servers is N, the simulated cluster size (default 1).
 	Servers int
 	// Workers is T, the per-server worker count (default GOMAXPROCS/N).
 	Workers int
-	// MaxSupersteps bounds the run (default 100).
+	// MaxSupersteps bounds each job (default 100). Per-job override:
+	// RunOptions.MaxSupersteps.
 	MaxSupersteps int
 	// Transport selects TransportInproc (default) or TransportTCP.
 	Transport cluster.TransportKind
@@ -191,6 +224,7 @@ type Options struct {
 	// working set (eviction decisions matter), CacheAdmitNoEvict otherwise.
 	CachePolicy *CachePolicy
 	// MessageCodec compresses update broadcasts; nil = snappy (§IV-C).
+	// Per-job override: RunOptions.MessageCodec.
 	MessageCodec *Codec
 	// ForceDense / ForceSparse disable the hybrid wire encoding (ablation).
 	ForceDense, ForceSparse bool
@@ -202,6 +236,7 @@ type Options struct {
 	// package docs): broadcasts serialize under one per-server mutex and
 	// foreign batches are received in a blocking sweep after compute. Kept
 	// as the ablation baseline for the pipelined-vs-lockstep comparison.
+	// Per-job opt-in: RunOptions.Lockstep.
 	Lockstep bool
 	// SendQueueCap bounds each destination's pipelined send queue; full
 	// queues backpressure compute workers. 0 (the default) sizes the
@@ -222,7 +257,10 @@ type Options struct {
 	WorkDir string
 }
 
-func (o Options) engineConfig() core.Config {
+func (o Options) engineConfig() (core.Config, error) {
+	if o.ForceDense && o.ForceSparse {
+		return core.Config{}, fmt.Errorf("graphh: ForceDense and ForceSparse are mutually exclusive")
+	}
 	cfg := core.DefaultConfig(o.Servers)
 	cfg.WorkersPerServer = o.Workers
 	cfg.MaxSupersteps = o.MaxSupersteps
@@ -242,8 +280,6 @@ func (o Options) engineConfig() core.Config {
 		cfg.MsgCodec = *o.MessageCodec
 	}
 	switch {
-	case o.ForceDense && o.ForceSparse:
-		// contradictory; keep hybrid
 	case o.ForceDense:
 		cfg.Comm = comm.ForceDense
 	case o.ForceSparse:
@@ -262,16 +298,97 @@ func (o Options) engineConfig() core.Config {
 	}
 	cfg.RebalanceRatio = o.RebalanceRatio
 	cfg.WorkDir = o.WorkDir
-	return cfg
+	return cfg, nil
 }
 
-// Run executes a program over a partitioned graph on a simulated cluster.
-func Run(p *Partitioned, prog Program, opts Options) (*Result, error) {
+// RunOptions are the per-job knobs of Session.Submit. The zero value
+// inherits every setting from the session's Options, so
+// Submit(ctx, prog, RunOptions{}) behaves exactly like Run with those
+// Options.
+type RunOptions struct {
+	// MaxSupersteps bounds this job; 0 inherits Options.MaxSupersteps.
+	MaxSupersteps int
+	// Lockstep forces this job onto the serialized communication baseline.
+	// It can only opt in: a session opened with Options.Lockstep runs every
+	// job lockstep regardless.
+	Lockstep bool
+	// MessageCodec compresses this job's update broadcasts; nil inherits
+	// Options.MessageCodec (snappy by default).
+	MessageCodec *Codec
+	// Progress, when non-nil, streams live statistics: it is called once
+	// per superstep, at the step's BSP barrier, from the coordinator
+	// server. Superstep and Updated are global; the byte/tile counters are
+	// the coordinator's local share. The callback blocks the superstep
+	// loop, so keep it fast, and never call Submit or Close on the session
+	// from inside it (that deadlocks: Submit is still waiting on the very
+	// job the callback runs in). Cancelling the job's context from
+	// Progress is the supported way to stop a run.
+	Progress func(StepStats)
+}
+
+// Session is a persistent GraphH deployment: a booted simulated cluster
+// whose servers keep their assigned tiles on local disk, their degree
+// context and a warm edge cache across any number of submitted jobs. Open
+// it once, Submit programs back-to-back (PageRank, then SSSP, then WCC —
+// with zero re-partitioning and cache epochs carried across jobs), and
+// Close it when done.
+//
+// A Session is safe for concurrent use, but jobs serialize: the BSP
+// superstep loop owns the whole cluster while it runs.
+type Session struct {
+	s *core.Session
+}
+
+// Open boots a session over a partitioned graph: the simulated servers
+// start, every tile is persisted to its server's local store, and the
+// per-server caches are sized — Run's full setup, paid once. The caller
+// must Close the session.
+func Open(p *Partitioned, opts Options) (*Session, error) {
 	if p == nil {
 		return nil, fmt.Errorf("graphh: nil partition")
 	}
-	eng := core.New(opts.engineConfig())
-	return eng.Run(core.Input{Partition: p}, prog)
+	cfg, err := opts.engineConfig()
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.Open(core.Input{Partition: p}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: s}, nil
+}
+
+// Submit runs one program against the session's warm cluster. Tiles are
+// not re-partitioned or re-persisted; the edge cache and any rebalanced
+// tile placement carry over from the previous job, while vertex values,
+// halt votes, statistics and send queues start fresh.
+//
+// Cancelling ctx aborts the job at the next superstep edge: Submit returns
+// ctx.Err() and the session stays usable. A hard engine error kills the
+// session; Submit reports it and later Submits fail fast.
+func (s *Session) Submit(ctx context.Context, prog Program, ro RunOptions) (*Result, error) {
+	return s.s.Submit(ctx, prog, core.JobOptions{
+		MaxSupersteps: ro.MaxSupersteps,
+		Lockstep:      ro.Lockstep,
+		MsgCodec:      ro.MessageCodec,
+		Progress:      ro.Progress,
+	})
+}
+
+// Close tears the session down: job loops exit, the cluster closes, and
+// session-owned scratch directories are removed. Close is idempotent.
+func (s *Session) Close() error { return s.s.Close() }
+
+// Run executes a program over a partitioned graph on a simulated cluster.
+// It is a thin Open→Submit→Close: callers running several programs over
+// the same partition should hold a Session instead and amortize the setup.
+func Run(p *Partitioned, prog Program, opts Options) (*Result, error) {
+	s, err := Open(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.Submit(context.Background(), prog, RunOptions{})
 }
 
 // RunGraph partitions g with default options and runs prog — the one-call

@@ -2,6 +2,8 @@ package graphh_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -183,5 +185,58 @@ func TestWCCOnSymmetrized(t *testing.T) {
 func TestNilPartition(t *testing.T) {
 	if _, err := graphh.Run(nil, graphh.NewPageRank(), graphh.Options{}); err == nil {
 		t.Fatal("nil partition accepted")
+	}
+}
+
+func TestSessionMultiJob(t *testing.T) {
+	g := graphh.GenerateRMAT(300, 2500, 33).Symmetrize()
+	p, err := graphh.Partition(g, graphh.PartitionOptions{TileSize: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := graphh.Options{Servers: 2, MaxSupersteps: 12, WorkDir: t.TempDir()}
+	s, err := graphh.Open(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Three different programs over one warm session, each checked against
+	// the standalone Run path.
+	for _, prog := range []graphh.Program{graphh.NewPageRank(), graphh.NewSSSP(0), graphh.NewWCC()} {
+		got, err := s.Submit(context.Background(), prog, graphh.RunOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", prog.Name(), err)
+		}
+		ref := opts
+		ref.WorkDir = t.TempDir()
+		want, err := graphh.Run(p, prog, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want.Values {
+			if got.Values[v] != want.Values[v] {
+				t.Fatalf("%s: session differs from Run at vertex %d", prog.Name(), v)
+			}
+		}
+	}
+
+	// Cancellation through the public API: cancel mid-job, then reuse.
+	ctx, cancel := context.WithCancel(context.Background())
+	steps := 0
+	_, err = s.Submit(ctx, graphh.NewPageRank(), graphh.RunOptions{
+		MaxSupersteps: 100,
+		Progress: func(st graphh.StepStats) {
+			steps++
+			if st.Superstep == 1 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Submit returned %v", err)
+	}
+	if _, err := s.Submit(context.Background(), graphh.NewBFS(0), graphh.RunOptions{}); err != nil {
+		t.Fatalf("Submit after cancel: %v", err)
 	}
 }

@@ -27,6 +27,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -39,6 +40,11 @@ import (
 // use errors.Is to distinguish secondary shutdown noise from the root
 // cause of a failed run.
 var ErrClosed = errors.New("cluster: transport closed")
+
+// errCancelled is returned by the transports' recv when the caller's cancel
+// channel fires before a message arrives. It never escapes the package:
+// the ctx-aware Node methods translate it to the context's own error.
+var errCancelled = errors.New("cluster: recv cancelled")
 
 // TransportKind selects the communication substrate.
 type TransportKind int
@@ -103,11 +109,40 @@ type message struct {
 	pool    *[]byte
 }
 
-// transport is the substrate interface shared by Inproc and TCP.
+// transport is the substrate interface shared by Inproc and TCP. recv
+// blocks until a message for the node arrives, the transport closes, or —
+// when cancel is non-nil — cancel fires, in which case it returns
+// errCancelled. A pending message always wins over a racing cancel or
+// close, so cancellation never drops delivered traffic.
 type transport interface {
 	send(from, to int, payload []byte) error
-	recv(node int) (message, error)
+	recv(node int, cancel <-chan struct{}) (message, error)
 	close() error
+}
+
+// recvFromInbox is the receive path shared by both transports: block until
+// a message, a cancel, or shutdown. A message that already reached the
+// inbox always wins over a racing cancel or close, so neither cancellation
+// nor shutdown drops delivered traffic.
+func recvFromInbox(inbox <-chan message, cancel, done <-chan struct{}) (message, error) {
+	select {
+	case msg := <-inbox:
+		return msg, nil
+	case <-cancel:
+		select {
+		case msg := <-inbox:
+			return msg, nil
+		default:
+		}
+		return message{}, errCancelled
+	case <-done:
+		select {
+		case msg := <-inbox:
+			return msg, nil
+		default:
+		}
+		return message{}, fmt.Errorf("cluster: recv: %w", ErrClosed)
+	}
 }
 
 // wirePool recycles inbound payload buffers. Both transports materialize
@@ -324,7 +359,7 @@ func (n *Node) Broadcast(payload []byte) error {
 // at the cost of one pool miss downstream. Hot receive loops should prefer
 // RecvStream, which keeps buffers cycling.
 func (n *Node) Recv() (from int, payload []byte, err error) {
-	m, err := n.recvMsg()
+	m, err := n.recvMsg(nil)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -333,9 +368,10 @@ func (n *Node) Recv() (from int, payload []byte, err error) {
 }
 
 // recvMsg is the shared receive path: one transport recv plus traffic
-// accounting. The returned message may carry a pooled holder.
-func (n *Node) recvMsg() (message, error) {
-	m, err := n.c.tr.recv(n.id)
+// accounting. The returned message may carry a pooled holder. A nil cancel
+// channel blocks indefinitely (the classic behaviour).
+func (n *Node) recvMsg(cancel <-chan struct{}) (message, error) {
+	m, err := n.c.tr.recv(n.id, cancel)
 	if err != nil {
 		return message{}, err
 	}
@@ -352,9 +388,26 @@ func (n *Node) recvMsg() (message, error) {
 // subsequent receives. A callback error stops the stream and is returned
 // as-is.
 func (n *Node) RecvStream(count int, fn func(from int, payload []byte) error) error {
+	return n.recvStream(nil, nil, count, fn)
+}
+
+// RecvStreamCtx is RecvStream with cancellation: when ctx is cancelled
+// between messages the stream stops and ctx.Err() is returned. A message
+// that already reached the node's inbox always wins over a racing cancel,
+// so no delivered payload is lost; messages still in flight stay queued
+// for a later receive (callers running a counted protocol must drain
+// them before reusing the transport).
+func (n *Node) RecvStreamCtx(ctx context.Context, count int, fn func(from int, payload []byte) error) error {
+	return n.recvStream(ctx, ctx.Done(), count, fn)
+}
+
+func (n *Node) recvStream(ctx context.Context, cancel <-chan struct{}, count int, fn func(from int, payload []byte) error) error {
 	for i := 0; i < count; i++ {
-		m, err := n.recvMsg()
+		m, err := n.recvMsg(cancel)
 		if err != nil {
+			if errors.Is(err, errCancelled) {
+				return ctx.Err()
+			}
 			return err
 		}
 		err = fn(m.from, m.payload)
@@ -391,7 +444,17 @@ func (n *Node) Metrics() Metrics { return n.c.NodeMetrics(n.id) }
 
 // Barrier blocks until every node in the cluster has reached it — the BSP
 // synchronization point of Algorithm 5 line 17.
-func (n *Node) Barrier() { n.c.bar.wait() }
+func (n *Node) Barrier() { n.c.bar.waitVote(false) }
+
+// BarrierVote is Barrier with a one-bit consensus: every node contributes a
+// flag, and all nodes leave the barrier observing the OR of every flag.
+// This is how a cancelled job aborts deterministically at a step edge —
+// each server votes its context's state and either all of them abort or
+// none do, so no server can start the next superstep (and its counted
+// message traffic) while another is unwinding. It also returns true when
+// the cluster has aborted (broken barrier); callers distinguish the two by
+// checking their context.
+func (n *Node) BarrierVote(flag bool) bool { return n.c.bar.waitVote(flag) }
 
 // Run executes fn once per node, each on its own goroutine (the SPMD
 // pattern of an MPI program), and blocks until every node returns. If any
@@ -413,6 +476,15 @@ func (c *Cluster) Run(fn func(n *Node) error) error {
 		}(i)
 	}
 	wg.Wait()
+	return FirstNodeError(errs)
+}
+
+// FirstNodeError selects the root cause from per-node errors (indexed by
+// rank): the first error that is not shutdown noise, or — when an abort
+// left only ErrClosed wreckage — the first of those. Cluster.Run applies
+// it to its nodes' results; session-style callers that collect per-node
+// errors themselves use it to report the same root cause Run would.
+func FirstNodeError(errs []error) error {
 	var first error
 	for i, err := range errs {
 		if err == nil {
@@ -436,7 +508,7 @@ func (c *Cluster) abort() {
 }
 
 // reusableBarrier is a classic generation-counting N-party barrier with a
-// break switch for aborted runs.
+// break switch for aborted runs and a per-generation one-bit vote.
 type reusableBarrier struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -444,6 +516,14 @@ type reusableBarrier struct {
 	count  int
 	gen    uint64
 	broken bool
+
+	// pending ORs the flags of the generation currently filling; decision is
+	// the result of the last completed generation. A late waiter of
+	// generation g always reads decision before any node can complete
+	// generation g+1 (completing it requires all n nodes to re-enter, which
+	// includes the late waiter).
+	pending  bool
+	decision bool
 }
 
 func newReusableBarrier(n int) *reusableBarrier {
@@ -452,24 +532,33 @@ func newReusableBarrier(n int) *reusableBarrier {
 	return b
 }
 
-func (b *reusableBarrier) wait() {
+// waitVote blocks until all n parties arrive, then returns the OR of every
+// party's flag. A broken barrier returns true immediately: an aborting
+// cluster must look like a unanimous abort vote to anyone still running.
+func (b *reusableBarrier) waitVote(flag bool) bool {
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.broken {
-		b.mu.Unlock()
-		return
+		return true
 	}
 	gen := b.gen
+	b.pending = b.pending || flag
 	b.count++
 	if b.count == b.n {
 		b.count = 0
+		b.decision = b.pending
+		b.pending = false
 		b.gen++
 		b.cond.Broadcast()
-	} else {
-		for gen == b.gen && !b.broken {
-			b.cond.Wait()
-		}
+		return b.decision
 	}
-	b.mu.Unlock()
+	for gen == b.gen && !b.broken {
+		b.cond.Wait()
+	}
+	if b.broken {
+		return true
+	}
+	return b.decision
 }
 
 // breakBarrier permanently releases all current and future waiters.

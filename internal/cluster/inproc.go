@@ -46,19 +46,8 @@ func (t *inprocTransport) send(from, to int, payload []byte) error {
 	}
 }
 
-func (t *inprocTransport) recv(node int) (message, error) {
-	select {
-	case msg := <-t.inboxes[node]:
-		return msg, nil
-	case <-t.done:
-		// Drain any message that raced the shutdown signal.
-		select {
-		case msg := <-t.inboxes[node]:
-			return msg, nil
-		default:
-		}
-		return message{}, fmt.Errorf("cluster: recv: %w", ErrClosed)
-	}
+func (t *inprocTransport) recv(node int, cancel <-chan struct{}) (message, error) {
+	return recvFromInbox(t.inboxes[node], cancel, t.done)
 }
 
 func (t *inprocTransport) close() error {

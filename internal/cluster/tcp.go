@@ -216,19 +216,8 @@ func (t *tcpTransport) send(from, to int, payload []byte) error {
 // hdrPool recycles TCP frame headers (see send).
 var hdrPool = sync.Pool{New: func() any { return new([8]byte) }}
 
-func (t *tcpTransport) recv(node int) (message, error) {
-	select {
-	case msg := <-t.inboxes[node]:
-		return msg, nil
-	case <-t.done:
-		// Drain any message that raced the shutdown signal.
-		select {
-		case msg := <-t.inboxes[node]:
-			return msg, nil
-		default:
-		}
-		return message{}, fmt.Errorf("cluster: recv: %w", ErrClosed)
-	}
+func (t *tcpTransport) recv(node int, cancel <-chan struct{}) (message, error) {
+	return recvFromInbox(t.inboxes[node], cancel, t.done)
 }
 
 func (t *tcpTransport) close() error {

@@ -1,11 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"os"
-	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -55,7 +54,8 @@ type Config struct {
 	// false.
 	CachePolicy cache.Policy
 	// MsgCodec compresses update broadcasts (§IV-C); the paper's default
-	// is snappy (set by DefaultConfig).
+	// is snappy (set by DefaultConfig). Sessions treat it as the per-job
+	// default; JobOptions.MsgCodec overrides it for one Submit.
 	MsgCodec compress.Mode
 	// Comm selects hybrid/dense/sparse wire encoding (default hybrid).
 	Comm comm.ModeChoice
@@ -63,7 +63,9 @@ type Config struct {
 	SparsityThreshold float64
 	// Replication selects All-in-All (default) or On-Demand (§IV-A).
 	Replication ReplicationPolicy
-	// MaxSupersteps bounds the superstep loop. Default 100.
+	// MaxSupersteps bounds the superstep loop. Default 100. Sessions treat
+	// it as the per-job default; JobOptions.MaxSupersteps overrides it for
+	// one Submit.
 	MaxSupersteps int
 	// BloomSkip enables inactive-tile skipping (§III-C-4).
 	BloomSkip bool
@@ -74,6 +76,8 @@ type Config struct {
 	// broadcast synchronously under one per-server mutex and foreign
 	// batches are received in one blocking sweep after compute — the
 	// pre-pipeline behaviour, kept as the ablation baseline (see PERF.md).
+	// Sessions treat it as the per-job default; JobOptions.Lockstep can
+	// additionally force one Submit onto the baseline.
 	Lockstep bool
 	// SendQueueCap bounds each destination's asynchronous send queue in the
 	// pipelined subsystem; full queues backpressure workers. 0 (default)
@@ -181,90 +185,17 @@ type tileMeta struct {
 }
 
 // Run executes the program on the input until convergence or MaxSupersteps.
+// It is the one-shot convenience path: a session is opened, the program
+// submitted once with the Config's per-job defaults, and the session closed
+// again. Callers running several programs over the same input should hold a
+// Session instead and amortize the setup.
 func (e *Engine) Run(in Input, prog Program) (*Result, error) {
-	cfg := e.cfg
-	g, numTiles, fetch, err := prepareInput(in)
+	se, err := Open(in, e.cfg)
 	if err != nil {
 		return nil, err
 	}
-	assign := cfg.Assignment
-	if assign == nil {
-		assign, err = tile.Assign(numTiles, cfg.NumServers)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		if assign.NumServers != cfg.NumServers {
-			return nil, fmt.Errorf("core: assignment is for %d servers, cluster has %d", assign.NumServers, cfg.NumServers)
-		}
-		if err := assign.Validate(numTiles); err != nil {
-			return nil, err
-		}
-	}
-
-	workDir := cfg.WorkDir
-	if workDir == "" {
-		dir, err := os.MkdirTemp("", "graphh-run-")
-		if err != nil {
-			return nil, fmt.Errorf("core: creating work dir: %w", err)
-		}
-		workDir = dir
-		defer os.RemoveAll(dir)
-	}
-
-	cl, err := cluster.New(cluster.Config{
-		NumNodes:     cfg.NumServers,
-		Transport:    cfg.Transport,
-		NetBandwidth: cfg.NetBandwidth,
-	})
-	if err != nil {
-		return nil, err
-	}
-	defer cl.Close()
-
-	res := &Result{
-		Values:  make([]float64, g.NumVertices),
-		Servers: make([]ServerStats, cfg.NumServers),
-	}
-	stepsByServer := make([][]StepStats, cfg.NumServers)
-	var setupMax, loopMax int64 // nanoseconds, max over servers
-
-	runErr := cl.Run(func(n *cluster.Node) error {
-		sv := &server{
-			cfg:    cfg,
-			node:   n,
-			graph:  g,
-			fetch:  fetch,
-			tiles:  assign.TilesOf[n.ID()],
-			total:  numTiles,
-			prog:   prog,
-			work:   filepath.Join(workDir, fmt.Sprintf("server-%d", n.ID())),
-			result: res,
-		}
-		setupDur, loopDur, steps, err := sv.run()
-		if err != nil {
-			return err
-		}
-		stepsByServer[n.ID()] = steps
-		atomicMax(&setupMax, int64(setupDur))
-		atomicMax(&loopMax, int64(loopDur))
-		m := cl.NodeMetrics(n.ID())
-		res.Servers[n.ID()].BytesSent = m.BytesSent
-		res.Servers[n.ID()].BytesRecv = m.BytesRecv
-		res.Servers[n.ID()].SendStalls = m.SendStalls
-		res.Servers[n.ID()].SendQueueHighWater = m.QueueHighWater
-		return nil
-	})
-	if runErr != nil {
-		return nil, runErr
-	}
-
-	res.SetupDuration = time.Duration(setupMax)
-	res.Duration = time.Duration(loopMax)
-	mergeSteps(res, stepsByServer)
-	res.Supersteps = len(res.Steps)
-	res.Converged = res.Supersteps > 0 && res.Steps[res.Supersteps-1].Updated == 0
-	return res, nil
+	defer se.Close()
+	return se.Submit(context.Background(), prog, JobOptions{})
 }
 
 // atomicMax lock-freely raises *dst to v if v is larger.
@@ -320,22 +251,37 @@ func prepareInput(in Input) (*Graph, int, func(i int) ([]byte, error), error) {
 	}
 }
 
-// server is the per-node execution state of one run.
+// server is the per-node execution state of one session: the long-lived
+// tile store, cache, metadata and scratch buffers, plus the per-job fields
+// runJob re-points at every Submit.
 type server struct {
-	cfg    Config
-	node   *cluster.Node
-	graph  *Graph
-	fetch  func(i int) ([]byte, error)
-	tiles  []int
-	total  int
-	prog   Program
-	work   string
-	result *Result
+	cfg   Config
+	node  *cluster.Node
+	graph *Graph
+	fetch func(i int) ([]byte, error)
+	tiles []int
+	total int
+	work  string
 
-	store *disk.Store
-	cache *cache.Cache
-	metas []*tileMeta
-	state *vertexState
+	// Session-lifetime state: persisted tiles, cache contents and scratch
+	// capacity all survive across jobs (that is the point of a session).
+	store      *disk.Store
+	cache      *cache.Cache
+	metas      []*tileMeta
+	members    []uint32 // OnDemand replica members; nil under AllInAll
+	bloomBytes int64
+	state      *vertexState
+
+	// Per-job state, reset by runJob: the program, its context and
+	// effective knobs, and the result being filled.
+	prog     Program
+	ctx      context.Context
+	maxSteps int
+	lockstep bool
+	msgCodec compress.Mode
+	progress func(StepStats)
+	result   *Result
+	jobsRun  int
 
 	// Steady-state scratch, sized once in setup so the superstep loop
 	// allocates O(changed vertices), not O(edges):
@@ -364,10 +310,107 @@ type server struct {
 	quietSteps    int
 
 	// rebal is the dynamic tile rebalancer (nil when off); tilesIn/Out
-	// count migrations this server received/donated.
+	// count migrations this server received/donated during the current job.
 	rebal    *rebalancer
 	tilesIn  int
 	tilesOut int
+}
+
+// runJob executes one submitted program on this server: per-job state is
+// reset (vertex values, halt votes, migration counters, send queues), the
+// superstep loop runs against the warm tile store and cache, and on
+// success the result is collected and the per-server statistics filled.
+// The returned error is nil for both success and cancellation — a
+// cancelled job leaves the session healthy — and non-nil only for hard
+// errors that abort the whole session.
+func (s *server) runJob(jb *job) (fatal error) {
+	defer func() {
+		// Drop the per-job references on the way out: an idle session must
+		// not pin the finished job's Result vector, the caller's Progress
+		// closure, its context, or the program value.
+		s.prog, s.ctx, s.progress, s.result = nil, nil, nil, nil
+	}()
+	s.prog = jb.prog
+	s.ctx = jb.ctx
+	s.maxSteps = jb.maxSteps
+	s.lockstep = jb.lockstep
+	s.msgCodec = jb.codec
+	s.progress = jb.progress
+	s.result = jb.res
+	s.tilesIn, s.tilesOut = 0, 0
+	for i := range s.staged {
+		s.staged[i] = s.staged[i][:0]
+	}
+	s.initJobState()
+	if s.jobsRun > 0 {
+		// Cross-job epoch continuity: the boundary between two jobs is one
+		// more superstep boundary on the CLOCK policy's reference clock, so
+		// tiles the previous job kept hot stay protected into this one.
+		s.cache.AdvanceEpoch()
+	}
+	s.jobsRun++
+
+	if !s.lockstep && s.node.NumNodes() > 1 {
+		// The pipelined subsystem is rebuilt per job (a job may opt into
+		// Lockstep), but the adaptive queue capacity carries over so a warm
+		// session keeps its learned sizing.
+		if s.queueCap <= 0 {
+			s.queueCap = s.cfg.SendQueueCap
+			if s.queueCap <= 0 {
+				s.queueCap = 32
+				s.adaptiveQueue = true
+			}
+		}
+		s.sender = s.node.NewSender(s.queueCap)
+		defer func() {
+			if s.sender != nil {
+				s.sender.Close()
+				s.sender = nil
+			}
+		}()
+	}
+	s.rebal = newRebalancer(s.cfg, s.node.NumNodes())
+
+	loopStart := time.Now()
+	steps, err := s.superstepLoop()
+	jb.steps[s.node.ID()] = steps
+	if err != nil {
+		var jc jobCancelled
+		if errors.As(err, &jc) {
+			jb.cancels[s.node.ID()] = jc.cause
+			return nil
+		}
+		jb.errs[s.node.ID()] = err
+		return err
+	}
+	atomicMax(&jb.loopMax, int64(time.Since(loopStart)))
+
+	if err := s.collectResult(); err != nil {
+		jb.errs[s.node.ID()] = err
+		return err
+	}
+	s.fillServerStats()
+	return nil
+}
+
+// initJobState resets the vertex replicas to the program's initial values.
+// The backing arrays are session-lifetime; only the values are per-job.
+func (s *server) initJobState() {
+	if s.cfg.Replication == OnDemand {
+		if s.state == nil {
+			s.state = newOnDemandState(s.members)
+		}
+		for _, v := range s.members {
+			s.state.set(v, s.prog.InitValue(v, s.graph))
+		}
+		return
+	}
+	if s.state == nil {
+		s.state = newAllInAllState(s.graph.NumVertices)
+	}
+	for v := uint32(0); v < s.graph.NumVertices; v++ {
+		s.state.values[v] = s.prog.InitValue(v, s.graph)
+	}
 }
 
 // workerScratch is one worker's reusable memory for the superstep hot path:
@@ -383,58 +426,10 @@ type workerScratch struct {
 
 func tileBlobName(i int) string { return fmt.Sprintf("tiles/%05d", i) }
 
-// run executes setup, the superstep loop and final result collection for
-// one server, returning its per-step stats.
-func (s *server) run() (setupDur, loopDur time.Duration, steps []StepStats, err error) {
-	defer func() {
-		if s.store != nil {
-			s.store.Close() // release cached tile-read descriptors
-		}
-	}()
-	setupStart := time.Now()
-	if err := s.setup(); err != nil {
-		return 0, 0, nil, err
-	}
-	setupDur = time.Since(setupStart)
-
-	if !s.cfg.Lockstep && s.node.NumNodes() > 1 {
-		// The pipelined subsystem: per-destination send queues that overlap
-		// gather compute with wire time. Close drains them (Flush) and is
-		// safe on error paths — peers keep receiving until every expected
-		// batch of the step has arrived, so queued messages always drain.
-		// SendQueueCap 0 starts at the classic 32 and lets the superstep
-		// loop resize from observed backpressure; the deferred Close runs
-		// through a closure because resizing swaps s.sender.
-		s.queueCap = s.cfg.SendQueueCap
-		if s.queueCap <= 0 {
-			s.queueCap = 32
-			s.adaptiveQueue = true
-		}
-		s.sender = s.node.NewSender(s.queueCap)
-		defer func() {
-			if s.sender != nil {
-				s.sender.Close()
-			}
-		}()
-	}
-	s.rebal = newRebalancer(s.cfg, s.node.NumNodes())
-
-	loopStart := time.Now()
-	steps, err = s.superstepLoop()
-	if err != nil {
-		return 0, 0, nil, err
-	}
-	loopDur = time.Since(loopStart)
-
-	if err := s.collectResult(); err != nil {
-		return 0, 0, nil, err
-	}
-	s.fillServerStats()
-	return setupDur, loopDur, steps, nil
-}
-
 // setup fetches assigned tiles to local disk, builds tile metadata, sizes
-// the edge cache, and initializes vertex replicas (Algorithm 5 lines 1–4).
+// the edge cache and the per-tile scratch, and records the OnDemand member
+// set (Algorithm 5 lines 1–4, minus the per-program vertex initialization
+// that initJobState performs at every Submit). It runs once per session.
 func (s *server) setup() error {
 	var err error
 	s.store, err = disk.NewStore(s.work, s.cfg.Disk)
@@ -447,12 +442,10 @@ func (s *server) setup() error {
 	}
 
 	var totalEnc int64
-	var members []uint32
 	var memberSet map[uint32]struct{}
 	if s.cfg.Replication == OnDemand {
 		memberSet = make(map[uint32]struct{})
 	}
-	var bloomBytes int64
 	var tl csr.Tile // reused across tiles; only the filter is retained
 	ingest := func(i int, enc []byte) error {
 		if err := s.store.Write(tileBlobName(i), enc); err != nil {
@@ -464,7 +457,7 @@ func (s *server) setup() error {
 		meta := &tileMeta{id: i, blob: tileBlobName(i), lo: tl.TargetLo, hi: tl.TargetHi, encBytes: int64(len(enc))}
 		if tl.Filter != nil {
 			meta.filter = tl.Filter
-			bloomBytes += int64(tl.Filter.SizeBytes())
+			s.bloomBytes += int64(tl.Filter.SizeBytes())
 			tl.Filter = nil // meta owns it now; the next decode allocates anew
 		}
 		s.metas = append(s.metas, meta)
@@ -582,32 +575,29 @@ func (s *server) setup() error {
 
 	if s.cfg.Replication == OnDemand {
 		for v := range memberSet {
-			members = append(members, v)
-		}
-		s.state = newOnDemandState(members)
-		for _, v := range members {
-			s.state.set(v, s.prog.InitValue(v, s.graph))
-		}
-	} else {
-		s.state = newAllInAllState(s.graph.NumVertices)
-		for v := uint32(0); v < s.graph.NumVertices; v++ {
-			s.state.values[v] = s.prog.InitValue(v, s.graph)
+			s.members = append(s.members, v)
 		}
 	}
-	s.result.Servers[s.node.ID()].VertexSlots = s.state.numSlots()
-	s.result.Servers[s.node.ID()].MemoryBytes = bloomBytes // completed in fillServerStats
 	return nil
 }
 
 // superstepLoop is Algorithm 5 lines 5–22, plus the superstep-boundary
 // rebalance phase (rebalance.go) and adaptive send-queue resizing between
-// the BSP barriers.
+// the BSP barriers. It is re-entrant per session: every per-job quantity —
+// halt votes, the updated-vertex list, step stats — lives in locals or in
+// fields runJob reset, while tiles, cache and scratch stay warm.
+//
+// Cancellation is decided at the step-end barrier: each server votes its
+// context's state, and the OR of the votes aborts all servers at the same
+// step edge with no update traffic left in flight (the vote barrier is the
+// same barrier that already guarantees every batch of the step has been
+// absorbed).
 func (s *server) superstepLoop() ([]StepStats, error) {
 	n := s.node
 	encOpts := comm.Options{
 		Choice:            s.cfg.Comm,
 		SparsityThreshold: s.cfg.SparsityThreshold,
-		Codec:             s.cfg.MsgCodec,
+		Codec:             s.msgCodec,
 	}
 
 	var steps []StepStats
@@ -617,7 +607,7 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 	// step's list is rebuilt from [:0] strictly after that.
 	var updatedBuf []uint32
 
-	for step := 0; step < s.cfg.MaxSupersteps; step++ {
+	for step := 0; step < s.maxSteps; step++ {
 		if step > 0 {
 			// Superstep boundary: one full cyclic sweep over the assigned
 			// tiles has completed. The CLOCK eviction policy keys its
@@ -636,7 +626,11 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 		var recvErr chan error
 		if s.sender != nil && expected > 0 {
 			recvErr = make(chan error, 1)
-			go func() { recvErr <- s.receiveForeign(expected) }()
+			// ctx rides in as an argument, not via the s.ctx field: on a
+			// hard error the loop can return without joining this
+			// goroutine, which then must not race runJob's per-job field
+			// teardown (the cluster abort is what unblocks and ends it).
+			go func(ctx context.Context) { recvErr <- s.receiveForeign(ctx, expected) }(s.ctx)
 		}
 
 		// Parallel tile processing on T workers (OpenMP pragma analog).
@@ -737,9 +731,19 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 		st.Duration = time.Since(stepStart)
 
 		// First barrier: every server has absorbed every update batch of
-		// this step, so no update traffic is in flight afterwards.
-		n.Barrier()
-		if updatedTotal != 0 && step+1 < s.cfg.MaxSupersteps && s.rebal != nil {
+		// this step, so no update traffic is in flight afterwards. The same
+		// barrier carries the cancellation consensus — if any server's
+		// context is done, all servers abort here, at the same step edge,
+		// leaving the transport clean for the session's next job.
+		if n.BarrierVote(s.ctx.Err() != nil) {
+			if cerr := s.ctx.Err(); cerr != nil {
+				return steps, jobCancelled{cause: cerr}
+			}
+			// The vote was forced by a broken barrier: a peer hit a hard
+			// error and the cluster is aborting underneath us.
+			return steps, fmt.Errorf("core: server %d: superstep barrier: %w", n.ID(), cluster.ErrClosed)
+		}
+		if updatedTotal != 0 && step+1 < s.maxSteps && s.rebal != nil {
 			// Rebalance phase, only when a next superstep will actually run
 			// (migrating after the last budgeted step would ship tiles no
 			// one processes). The gate (rebal non-nil, the step budget, and
@@ -754,6 +758,12 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 			n.Barrier()
 		}
 		steps = append(steps, st)
+		if s.progress != nil && n.ID() == 0 {
+			// Live progress, streamed at the barrier edge from the
+			// coordinator. Superstep/Updated are global; the byte and tile
+			// counters are this server's local share.
+			s.progress(st)
+		}
 		if updatedTotal == 0 {
 			break
 		}
@@ -810,14 +820,27 @@ type tileOut struct {
 // goroutine concurrently with tile compute, decoding each foreign batch the
 // moment it arrives and staging its updates per sender rank. Only this
 // goroutine touches recvBatch and staged until the superstep loop joins it.
-func (s *server) receiveForeign(expected int) error {
-	return s.node.RecvStream(expected, func(from int, msg []byte) error {
+//
+// The receive is context-aware: a cancelled job stops decoding and staging
+// immediately. The remaining batches of the step are still drained —
+// cancellation is only acted on at the step edge, so every peer completes
+// its sends and the counted protocol must consume them to leave the
+// transport clean for the session's next job — but their contents are
+// discarded, since the vote barrier is now guaranteed to abort the job.
+func (s *server) receiveForeign(ctx context.Context, expected int) error {
+	received := 0
+	err := s.node.RecvStreamCtx(ctx, expected, func(from int, msg []byte) error {
+		received++
 		if _, err := comm.DecodeInto(&s.recvBatch, msg); err != nil {
 			return fmt.Errorf("core: server %d decoding update batch: %w", s.node.ID(), err)
 		}
 		s.staged[from] = append(s.staged[from], s.recvBatch.Updates...)
 		return nil
 	})
+	if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		return s.node.RecvStream(expected-received, func(int, []byte) error { return nil })
+	}
+	return err
 }
 
 // processTile runs gather+apply over one tile and broadcasts the resulting
@@ -998,11 +1021,15 @@ func (s *server) collectResult() error {
 }
 
 // fillServerStats computes the analytic memory footprint (§IV-A accounting)
-// and snapshots disk and cache counters.
+// and snapshots the disk, cache and network counters. On a session's
+// second and later jobs the counters are cumulative since Open — the warm
+// store and cache are shared state, and their deltas between jobs are what
+// pin cross-job reuse (a warm Submit adds cache hits but no tile writes).
 func (s *server) fillServerStats() {
 	st := &s.result.Servers[s.node.ID()]
 	st.Server = s.node.ID()
-	mem := st.MemoryBytes // bloom filter bytes recorded during setup
+	st.VertexSlots = s.state.numSlots()
+	mem := s.bloomBytes
 	mem += s.state.memoryBytes()
 	// The out-degree array each server keeps for programs like PageRank.
 	mem += int64(len(s.graph.OutDeg)) * 4
@@ -1023,7 +1050,16 @@ func (s *server) fillServerStats() {
 	st.CachePolicy = s.cache.Policy()
 	st.TilesMigratedIn = s.tilesIn
 	st.TilesMigratedOut = s.tilesOut
-	st.SendQueueCap = s.queueCap
+	if !s.lockstep {
+		// A lockstep job has no send queues, even when a previous pipelined
+		// job on the same session left a learned capacity behind.
+		st.SendQueueCap = s.queueCap
+	}
+	m := s.node.Metrics()
+	st.BytesSent = m.BytesSent
+	st.BytesRecv = m.BytesRecv
+	st.SendStalls = m.SendStalls
+	st.SendQueueHighWater = m.QueueHighWater
 }
 
 // mergeSteps folds the per-server step stats into cluster-wide rows: sums

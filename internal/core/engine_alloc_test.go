@@ -81,6 +81,7 @@ func newWarmServer(t *testing.T, mutate func(*Config), pipelined bool) (*server,
 		cl.Close()
 		t.Fatal(err)
 	}
+	sv.initJobState() // per-job vertex values, split out of setup by sessions
 	if pipelined {
 		// A single-node sender has no peers, so broadcasts release their
 		// pooled buffer immediately — this pins the Acquire/encode/enqueue

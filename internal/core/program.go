@@ -11,6 +11,12 @@
 // Supersteps are bulk-synchronous (Algorithm 5); the program terminates when
 // a superstep updates no vertex.
 //
+// The engine is session-oriented (session.go): Open boots the cluster and
+// persists tiles once, Submit runs any number of programs back-to-back
+// against the warm tile stores and edge caches with per-job knobs and
+// step-edge context cancellation, Close tears everything down. Engine.Run
+// is a thin Open→Submit→Close wrapper.
+//
 // The superstep loop is pipelined (§IV-C): workers enqueue encoded update
 // batches on the cluster.Sender and move to their next tile while a
 // concurrent receive loop decodes foreign batches into per-sender staging.

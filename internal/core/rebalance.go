@@ -283,6 +283,9 @@ func (s *server) dropTile(k int) error {
 	if err := s.store.Remove(meta.blob); err != nil {
 		return fmt.Errorf("core: server %d dropping migrated tile %d: %w", s.node.ID(), meta.id, err)
 	}
+	if meta.filter != nil {
+		s.bloomBytes -= int64(meta.filter.SizeBytes())
+	}
 	s.metas = append(s.metas[:k], s.metas[k+1:]...)
 	s.updBufs = append(s.updBufs[:k], s.updBufs[k+1:]...)
 	s.outs = s.outs[:len(s.metas)]
@@ -315,6 +318,7 @@ func (s *server) admitTile(id int, body []byte) error {
 	meta := &tileMeta{id: id, blob: blob, lo: tl.TargetLo, hi: tl.TargetHi, encBytes: int64(len(body))}
 	if tl.Filter != nil {
 		meta.filter = tl.Filter
+		s.bloomBytes += int64(tl.Filter.SizeBytes())
 	}
 	k := sort.Search(len(s.metas), func(i int) bool { return s.metas[i].id >= id })
 	s.metas = append(s.metas, nil)

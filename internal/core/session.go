@@ -1,0 +1,358 @@
+package core
+
+// Session-oriented engine lifecycle. GraphH's expensive setup — tile
+// persistence to every server's local store, degree context, and the idle
+// -memory edge cache (§III-B, §IV-B) — is worth amortizing across many
+// analytics jobs on the same loaded graph. Open performs that setup once
+// and parks one goroutine per simulated server; Submit then runs any
+// number of programs back-to-back against the warm tile stores and caches,
+// and Close tears the cluster down. Engine.Run is a thin
+// Open→Submit→Close wrapper, so the classic one-shot path shares every
+// line of this machinery.
+//
+// Cancellation protocol: Submit's context is shared by every server's job
+// loop. Each superstep ends with a consensus barrier
+// (cluster.Node.BarrierVote) where every server votes its context's state;
+// because all servers observe the OR of the votes, either all of them
+// abort at that step edge or none do, and the step's counted update
+// traffic has been fully absorbed (or drained) before anyone leaves. A
+// cancelled job therefore unwinds with no messages in flight and the
+// session stays healthy for the next Submit. Hard errors (disk, decode,
+// transport) instead abort the whole cluster, exactly as they abort a
+// classic Run; the session is then dead and says so.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/compress"
+	"repro/internal/tile"
+)
+
+// JobOptions are the per-job knobs of Session.Submit. The zero value
+// inherits every setting from the session's Config, so
+// Submit(ctx, prog, JobOptions{}) behaves exactly like a classic Run with
+// that Config.
+type JobOptions struct {
+	// MaxSupersteps bounds this job's superstep loop; 0 inherits the
+	// session Config's bound.
+	MaxSupersteps int
+	// Lockstep forces this job onto the serialized communication baseline.
+	// It can only opt in: a session configured with Config.Lockstep runs
+	// every job lockstep regardless.
+	Lockstep bool
+	// MsgCodec compresses this job's update broadcasts; nil inherits the
+	// session Config's codec.
+	MsgCodec *compress.Mode
+	// Progress, when non-nil, streams live per-superstep statistics: it is
+	// called once per superstep, at the step's BSP barrier edge, from the
+	// coordinator server's goroutine. Superstep and Updated are global
+	// (identical on every server); the byte/tile counters are the
+	// coordinator's local share. The callback blocks the superstep loop,
+	// so keep it fast, and it must not call back into the session —
+	// Submit or Close from inside Progress deadlocks (Submit is still
+	// waiting on the job this callback runs in). Cancelling the job's
+	// context from it is the supported way to stop a run.
+	Progress func(StepStats)
+}
+
+// jobCancelled wraps a context cancellation so the session can tell an
+// aborted-by-caller job (session stays healthy) from a hard engine error
+// (session dies).
+type jobCancelled struct{ cause error }
+
+func (e jobCancelled) Error() string { return "core: job cancelled: " + e.cause.Error() }
+func (e jobCancelled) Unwrap() error { return e.cause }
+
+// job is one Submit travelling through the per-server job loops.
+type job struct {
+	prog     Program
+	ctx      context.Context
+	maxSteps int
+	lockstep bool
+	codec    compress.Mode
+	progress func(StepStats)
+
+	res     *Result
+	steps   [][]StepStats
+	errs    []error // hard per-server errors
+	cancels []error // per-server cancellation causes
+	loopMax int64   // nanoseconds, max over servers
+	wg      sync.WaitGroup
+}
+
+// Session is a persistent deployment of the engine: a booted simulated
+// cluster whose servers hold their assigned tiles on local disk, their
+// degree context, and a warm edge cache across any number of submitted
+// jobs. Open boots it, Submit runs one program, Close tears it down.
+//
+// Submit and Close serialize against each other; concurrent calls are safe
+// but jobs run one at a time (the BSP loop owns the whole cluster).
+type Session struct {
+	cfg      Config
+	graph    *Graph
+	cl       *cluster.Cluster
+	workDir  string
+	ownWork  bool
+	setupDur time.Duration
+
+	jobChs  []chan *job
+	runDone chan error
+
+	mu     sync.Mutex
+	closed bool
+	dead   error // first hard error; the cluster is gone
+}
+
+// Open boots a session: it spins up the simulated cluster, assigns and
+// persists every tile to its server's local store, and initializes the
+// per-server caches and scratch state — all of Engine.Run's setup, paid
+// once. The returned session must be Closed.
+func Open(in Input, cfg Config) (*Session, error) {
+	cfg = cfg.normalized()
+	g, numTiles, fetch, err := prepareInput(in)
+	if err != nil {
+		return nil, err
+	}
+	assign := cfg.Assignment
+	if assign == nil {
+		assign, err = tile.Assign(numTiles, cfg.NumServers)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if assign.NumServers != cfg.NumServers {
+			return nil, fmt.Errorf("core: assignment is for %d servers, cluster has %d", assign.NumServers, cfg.NumServers)
+		}
+		if err := assign.Validate(numTiles); err != nil {
+			return nil, err
+		}
+	}
+
+	workDir := cfg.WorkDir
+	ownWork := false
+	if workDir == "" {
+		dir, err := os.MkdirTemp("", "graphh-session-")
+		if err != nil {
+			return nil, fmt.Errorf("core: creating work dir: %w", err)
+		}
+		workDir = dir
+		ownWork = true
+	}
+
+	cl, err := cluster.New(cluster.Config{
+		NumNodes:     cfg.NumServers,
+		Transport:    cfg.Transport,
+		NetBandwidth: cfg.NetBandwidth,
+	})
+	if err != nil {
+		if ownWork {
+			os.RemoveAll(workDir)
+		}
+		return nil, err
+	}
+
+	se := &Session{
+		cfg:     cfg,
+		graph:   g,
+		cl:      cl,
+		workDir: workDir,
+		ownWork: ownWork,
+		jobChs:  make([]chan *job, cfg.NumServers),
+		runDone: make(chan error, 1),
+	}
+	for i := range se.jobChs {
+		se.jobChs[i] = make(chan *job)
+	}
+
+	type setupRes struct {
+		dur time.Duration
+		err error
+	}
+	setupCh := make(chan setupRes, cfg.NumServers)
+	// The node closures must not capture fetch directly: it can retain a
+	// full pre-encoded copy of every tile (the partition path), and the
+	// closures live as long as the session. They read it through this box,
+	// which Open empties once every setup has finished — each node's read
+	// happens-before its setupCh send, which happens-before the clearing
+	// write, so the hand-off is race-free and the encodings become
+	// collectable while the session keeps serving.
+	fetchBox := &struct{ fn func(int) ([]byte, error) }{fetch}
+	go func() {
+		se.runDone <- cl.Run(func(n *cluster.Node) error {
+			sv := &server{
+				cfg:   cfg,
+				node:  n,
+				graph: g,
+				fetch: fetchBox.fn,
+				tiles: assign.TilesOf[n.ID()],
+				total: numTiles,
+				work:  filepath.Join(workDir, fmt.Sprintf("server-%d", n.ID())),
+			}
+			defer func() {
+				if sv.store != nil {
+					sv.store.Close() // release cached tile-read descriptors
+				}
+			}()
+			start := time.Now()
+			err := sv.setup()
+			setupCh <- setupRes{dur: time.Since(start), err: err}
+			if err != nil {
+				return err
+			}
+			// The fetch closure (and any tile encodings it retains) is only
+			// needed during setup; drop it so the session doesn't pin it.
+			sv.fetch = nil
+			for jb := range se.jobChs[n.ID()] {
+				fatal := sv.runJob(jb)
+				jb.wg.Done()
+				if fatal != nil {
+					return fatal
+				}
+			}
+			return nil
+		})
+	}()
+
+	setupFailed := false
+	for i := 0; i < cfg.NumServers; i++ {
+		r := <-setupCh
+		if r.err != nil {
+			setupFailed = true
+		}
+		if r.dur > se.setupDur {
+			se.setupDur = r.dur
+		}
+	}
+	fetchBox.fn = nil // every setup is done; release the tile encodings
+	if setupFailed {
+		// The failing node already aborted the cluster; release the healthy
+		// job loops and surface cluster.Run's root-cause error.
+		for _, ch := range se.jobChs {
+			close(ch)
+		}
+		err := <-se.runDone
+		cl.Close()
+		if ownWork {
+			os.RemoveAll(workDir)
+		}
+		if err == nil {
+			err = fmt.Errorf("core: session setup failed: %w", cluster.ErrClosed)
+		}
+		return nil, err
+	}
+	return se, nil
+}
+
+// Submit runs one program over the session's warm cluster and returns its
+// result. Tiles are not re-partitioned or re-persisted: the job reuses the
+// local stores and edge caches exactly as the previous job left them (tile
+// placement included — the rebalancer's migrations carry over), while
+// vertex values, halt votes, per-job statistics and send queues start
+// fresh.
+//
+// Cancelling ctx aborts the job at the next superstep edge: Submit returns
+// ctx.Err() and the session remains usable for further Submits. A hard
+// engine error (disk failure, corrupt payload, transport loss) kills the
+// whole session; Submit reports it and every later Submit fails fast.
+func (se *Session) Submit(ctx context.Context, prog Program, opts JobOptions) (*Result, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("core: nil program")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if se.closed {
+		return nil, fmt.Errorf("core: Submit on closed session")
+	}
+	if se.dead != nil {
+		return nil, fmt.Errorf("core: session aborted by earlier error: %w", se.dead)
+	}
+	if err := ctx.Err(); err != nil {
+		// Fail fast instead of running one full superstep only for the
+		// first barrier vote to throw it away. Checked after the lock so a
+		// Submit cancelled while queued behind another job is also caught.
+		return nil, err
+	}
+
+	maxSteps := opts.MaxSupersteps
+	if maxSteps <= 0 {
+		maxSteps = se.cfg.MaxSupersteps
+	}
+	codec := se.cfg.MsgCodec
+	if opts.MsgCodec != nil {
+		codec = *opts.MsgCodec
+	}
+	jb := &job{
+		prog:     prog,
+		ctx:      ctx,
+		maxSteps: maxSteps,
+		lockstep: se.cfg.Lockstep || opts.Lockstep,
+		codec:    codec,
+		progress: opts.Progress,
+		res: &Result{
+			Values:  make([]float64, se.graph.NumVertices),
+			Servers: make([]ServerStats, se.cfg.NumServers),
+		},
+		steps:   make([][]StepStats, se.cfg.NumServers),
+		errs:    make([]error, se.cfg.NumServers),
+		cancels: make([]error, se.cfg.NumServers),
+	}
+	jb.wg.Add(se.cfg.NumServers)
+	for _, ch := range se.jobChs {
+		ch <- jb
+	}
+	jb.wg.Wait()
+
+	if err := cluster.FirstNodeError(jb.errs); err != nil {
+		se.dead = err
+		return nil, err
+	}
+	for _, cerr := range jb.cancels {
+		if cerr != nil {
+			return nil, cerr
+		}
+	}
+
+	res := jb.res
+	res.SetupDuration = se.setupDur
+	res.Duration = time.Duration(jb.loopMax)
+	mergeSteps(res, jb.steps)
+	res.Supersteps = len(res.Steps)
+	res.Converged = res.Supersteps > 0 && res.Steps[res.Supersteps-1].Updated == 0
+	return res, nil
+}
+
+// Close shuts the session down: the per-server job loops exit, the cluster
+// closes, and a session-owned scratch directory is removed. Close is
+// idempotent; it never re-reports an error a Submit already surfaced.
+func (se *Session) Close() error {
+	se.mu.Lock()
+	if se.closed {
+		se.mu.Unlock()
+		return nil
+	}
+	se.closed = true
+	for _, ch := range se.jobChs {
+		close(ch)
+	}
+	dead := se.dead
+	se.mu.Unlock()
+
+	err := <-se.runDone
+	se.cl.Close()
+	if se.ownWork {
+		os.RemoveAll(se.workDir)
+	}
+	if dead != nil {
+		return nil
+	}
+	return err
+}

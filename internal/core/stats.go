@@ -39,7 +39,13 @@ type StepStats struct {
 	Rebalance time.Duration
 }
 
-// ServerStats records one server's whole-run behaviour.
+// ServerStats records one server's behaviour. The I/O and traffic
+// counters (Disk, Cache, BytesSent/Recv, SendStalls) are cumulative since
+// the session opened — for a classic Run that is the whole run; on a warm
+// session's later Submits the job's own share is the delta against the
+// previous Result, which is exactly what pins cross-job reuse (a warm job
+// adds cache hits but no tile writes). Gauges (MemoryBytes, VertexSlots,
+// SendQueueCap) and the migration counters are per-job.
 type ServerStats struct {
 	// Server rank.
 	Server int
@@ -68,8 +74,8 @@ type ServerStats struct {
 	SendStalls         int64
 	SendQueueHighWater int64
 	// SendQueueCap is the per-destination send-queue capacity at the end of
-	// the run — adaptive sizing (Config.SendQueueCap == 0) may have moved
-	// it from the initial 32. Zero in Lockstep mode and single-server runs.
+	// the job — adaptive sizing (Config.SendQueueCap == 0) may have moved
+	// it from the initial 32. Zero for lockstep jobs and single-server runs.
 	SendQueueCap int
 	// TilesMigratedIn and TilesMigratedOut count tiles the rebalancer moved
 	// onto and off this server mid-run.
