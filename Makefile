@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-codec bench-smoke fuzz fuzz-ci race ci check docs-check api-check api-snapshot
+.PHONY: all build test vet bench bench-codec bench-smoke chaos fuzz fuzz-ci race ci check docs-check api-check api-snapshot
 
 all: check
 
@@ -27,9 +27,19 @@ ci: build vet test
 race:
 	$(GO) test -race -count=1 ./internal/cluster/ ./internal/core/
 
-# check is the default gate: tier-1 plus race, a short fuzz budget, the
-# documentation and API gates and the perf smoke pass.
-check: ci race fuzz-ci docs-check api-check bench-smoke
+# check is the default gate: tier-1 plus race, the chaos suite, a short
+# fuzz budget, the documentation and API gates and the perf smoke pass.
+check: ci race chaos fuzz-ci docs-check api-check bench-smoke
+
+# chaos runs the fault-injection and crash-recovery suite under the race
+# detector: the crash-at-every-superstep sweep, hang detection, wire
+# drop/duplicate tolerance, session death semantics and the disk failure
+# hooks. Every test asserts recovered results are bit-identical to the
+# fault-free run.
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'Recovery|Fault|Wire|Kill|Checkpoint|SessionRecovers|SessionDead|AllServersDie' \
+		./internal/core/ ./internal/disk/ .
 
 # bench-smoke is the fast perf sanity pass: the skewed-partition
 # rebalancing experiment at a tiny scale (exercises migration end to end
@@ -39,6 +49,7 @@ bench-smoke:
 	GRAPHH_BENCH_SCALE=0.05 $(GO) run ./cmd/graphh-bench -exp skew -supersteps 8
 	$(GO) test ./internal/cluster/ -run TestRecvSteadyStateAllocs -count=1
 	$(GO) test ./internal/core/ -run TestProcessTileSteadyStateAllocs -count=1
+	$(GO) test ./internal/core/ -run xxx -bench BenchmarkRecovery4Servers -benchtime 1x -count=1
 
 # api-check surfaces accidental public-API breaks: the root package's
 # `go doc -all` output must match the committed snapshot in docs/API.txt.

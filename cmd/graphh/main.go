@@ -49,6 +49,8 @@ func main() {
 		netBW      = flag.Int64("net-bw", 0, "network bandwidth model, bytes/s (0 = unlimited)")
 		rebalance  = flag.Bool("rebalance", true, "migrate tiles off straggling servers between supersteps")
 		rebalRatio = flag.Float64("rebalance-ratio", 0, "straggler trigger: server step cost over ratio x cluster mean (0 = 1.3)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint the vertex state every K supersteps for crash recovery (0 = off)")
+		failTO     = flag.Duration("failure-timeout", 0, "declare a server dead after its traffic stalls this long, e.g. 2s (0 = only self-declared crashes)")
 	)
 	flag.Parse()
 
@@ -105,6 +107,8 @@ func main() {
 		NetBandwidth:       *netBW,
 		DisableRebalance:   !*rebalance,
 		RebalanceRatio:     *rebalRatio,
+		CheckpointEvery:    *ckptEvery,
+		FailureTimeout:     *failTO,
 	}
 	if *tcp {
 		opts.Transport = graphh.TransportTCP
@@ -175,6 +179,20 @@ func printJob(name string, res *graphh.Result, first bool, top int) {
 	}
 	if migrated > 0 {
 		fmt.Printf("rebalancer: migrated %d tiles (%.2f MB) mid-run\n", migrated, migratedMB)
+	}
+	var ckpts, recoveries int
+	var ckptMB float64
+	for _, sv := range res.Servers {
+		ckpts += sv.Checkpoints
+		recoveries += sv.Recoveries
+		ckptMB += float64(sv.CheckpointBytes) / 1e6
+	}
+	if ckpts > 0 {
+		fmt.Printf("checkpoints: %d written (%.2f MB)\n", ckpts, ckptMB)
+	}
+	if len(res.DeadServers) > 0 {
+		fmt.Printf("recovery: servers %v died mid-run; survivors completed %d recovery rounds\n",
+			res.DeadServers, recoveries)
 	}
 	for _, sv := range res.Servers {
 		fmt.Printf("  server %d: mem %.2f MB, disk read %.2f MB, cache hit %.1f%% (%s/%s)\n",

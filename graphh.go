@@ -59,6 +59,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/cache"
@@ -140,6 +141,50 @@ const (
 // CachePolicyByName parses a policy name ("admit-no-evict", "lru",
 // "clock") as printed by CachePolicy.String.
 func CachePolicyByName(name string) (CachePolicy, error) { return cache.PolicyByName(name) }
+
+// Fault injection and recovery re-exports. A FaultPlan scripts
+// deterministic failures — server crashes and hangs, disk-op errors,
+// dropped or duplicated wire frames — into a Run or a Session via
+// Options.Faults; with Options.CheckpointEvery set, the surviving servers
+// recover from the newest common checkpoint and finish the job with
+// bit-identical results. See core.FaultPlan and docs/ARCHITECTURE.md,
+// "Checkpointing & recovery".
+type (
+	// FaultPlan scripts failures into one Run or Session.
+	FaultPlan = core.FaultPlan
+	// Kill crashes (or hangs) one server at one superstep.
+	Kill = core.Kill
+	// DiskFault fails one server's n-th disk operation of a given kind.
+	DiskFault = core.DiskFault
+	// WireFault drops or duplicates one cross-server frame.
+	WireFault = core.WireFault
+	// KillPoint locates a scripted crash within its superstep.
+	KillPoint = core.KillPoint
+)
+
+// Kill points within a superstep.
+const (
+	KillAtStepStart = core.KillAtStepStart
+	KillMidStep     = core.KillMidStep
+	KillAtBarrier   = core.KillAtBarrier
+)
+
+// Wire-fault actions.
+const (
+	WireDeliver   = cluster.WireDeliver
+	WireDrop      = cluster.WireDrop
+	WireDuplicate = cluster.WireDuplicate
+)
+
+// Sentinel errors of the fault/recovery machinery, for errors.Is.
+var (
+	// ErrInjectedFault marks every failure a FaultPlan manufactures.
+	ErrInjectedFault = core.ErrInjectedFault
+	// ErrSessionDead marks Submits that fail fast because an earlier
+	// job's hard error killed the session; the wrapped chain still
+	// carries the original cause.
+	ErrSessionDead = core.ErrSessionDead
+)
 
 // LoadCSV reads a tab/space-separated edge list ("src dst [weight]"; # and %
 // comments allowed).
@@ -253,6 +298,21 @@ type Options struct {
 	// server's step cost exceeds ratio × the cluster mean (0 = the 1.3
 	// default).
 	RebalanceRatio float64
+	// CheckpointEvery, when positive, writes a consistent checkpoint of
+	// the vertex state every that-many supersteps, enabling crash
+	// recovery: survivors of a server loss restore from the newest common
+	// checkpoint and replay to bit-identical results. Requires All-in-All
+	// replication and disables the rebalancer for checkpointed jobs.
+	// Per-job override: RunOptions.CheckpointEvery.
+	CheckpointEvery int
+	// FailureTimeout arms the failure detector: a server whose barrier
+	// vote or update traffic stalls this long is declared dead by the
+	// survivors. 0 leaves only self-declared crashes detectable.
+	FailureTimeout time.Duration
+	// Faults scripts deterministic failures into the run — server kills,
+	// disk-op errors, dropped or duplicated wire frames. nil injects
+	// nothing.
+	Faults *FaultPlan
 	// WorkDir hosts per-server scratch stores; "" = temp dir.
 	WorkDir string
 }
@@ -297,6 +357,9 @@ func (o Options) engineConfig() (core.Config, error) {
 		cfg.Rebalance = core.RebalanceOff
 	}
 	cfg.RebalanceRatio = o.RebalanceRatio
+	cfg.CheckpointEvery = o.CheckpointEvery
+	cfg.FailureTimeout = o.FailureTimeout
+	cfg.Faults = o.Faults
 	cfg.WorkDir = o.WorkDir
 	return cfg, nil
 }
@@ -324,6 +387,10 @@ type RunOptions struct {
 	// job the callback runs in). Cancelling the job's context from
 	// Progress is the supported way to stop a run.
 	Progress func(StepStats)
+	// CheckpointEvery overrides Options.CheckpointEvery for this job:
+	// 0 inherits, negative disables checkpointing for this job, positive
+	// checkpoints every that-many supersteps.
+	CheckpointEvery int
 }
 
 // Session is a persistent GraphH deployment: a booted simulated cluster
@@ -368,10 +435,11 @@ func Open(p *Partitioned, opts Options) (*Session, error) {
 // session; Submit reports it and later Submits fail fast.
 func (s *Session) Submit(ctx context.Context, prog Program, ro RunOptions) (*Result, error) {
 	return s.s.Submit(ctx, prog, core.JobOptions{
-		MaxSupersteps: ro.MaxSupersteps,
-		Lockstep:      ro.Lockstep,
-		MsgCodec:      ro.MessageCodec,
-		Progress:      ro.Progress,
+		MaxSupersteps:   ro.MaxSupersteps,
+		Lockstep:        ro.Lockstep,
+		MsgCodec:        ro.MessageCodec,
+		Progress:        ro.Progress,
+		CheckpointEvery: ro.CheckpointEvery,
 	})
 }
 

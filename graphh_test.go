@@ -7,6 +7,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	graphh "repro"
 	"repro/internal/graph"
@@ -238,5 +239,45 @@ func TestSessionMultiJob(t *testing.T) {
 	}
 	if _, err := s.Submit(context.Background(), graphh.NewBFS(0), graphh.RunOptions{}); err != nil {
 		t.Fatalf("Submit after cancel: %v", err)
+	}
+}
+
+// TestCrashRecoveryPublicAPI drives the whole fault/recovery surface from
+// the public package: a scripted kill plus checkpointing must yield values
+// bit-identical to the fault-free run, and the dead server is reported.
+func TestCrashRecoveryPublicAPI(t *testing.T) {
+	g := graphh.GenerateRMAT(300, 2400, 42)
+	p, err := graphh.Partition(g, graphh.PartitionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := graphh.Options{
+		Servers: 3, MaxSupersteps: 8, WorkDir: t.TempDir(),
+		CheckpointEvery: 2, FailureTimeout: 2 * time.Second,
+	}
+	want, err := graphh.Run(p, graphh.NewPageRank(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.DeadServers) != 0 {
+		t.Fatalf("fault-free run lost servers: %v", want.DeadServers)
+	}
+
+	faulted := base
+	faulted.WorkDir = t.TempDir()
+	faulted.Faults = &graphh.FaultPlan{Kills: []graphh.Kill{
+		{Server: 1, Step: 3, Point: graphh.KillMidStep},
+	}}
+	res, err := graphh.Run(p, graphh.NewPageRank(), faulted)
+	if err != nil {
+		t.Fatalf("faulted run: %v", err)
+	}
+	if len(res.DeadServers) != 1 || res.DeadServers[0] != 1 {
+		t.Fatalf("DeadServers = %v, want [1]", res.DeadServers)
+	}
+	for v := range want.Values {
+		if res.Values[v] != want.Values[v] {
+			t.Fatalf("vertex %d: %.17g vs %.17g — recovery not bit-identical", v, res.Values[v], want.Values[v])
+		}
 	}
 }

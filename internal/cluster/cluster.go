@@ -41,6 +41,18 @@ import (
 // cause of a failed run.
 var ErrClosed = errors.New("cluster: transport closed")
 
+// ErrMembershipChanged interrupts barrier and receive calls when a node has
+// been declared dead since the caller last acknowledged the membership view
+// (AckMembership). It is level-triggered: every blocking operation keeps
+// failing with it until the caller acknowledges the new epoch, so a node
+// cannot accidentally mix traffic from two membership views.
+var ErrMembershipChanged = errors.New("cluster: membership changed")
+
+// ErrRecvStall is returned by the stall-aware receive paths when no message
+// arrived within the failure-detection timeout. The caller — who knows
+// which peers still owe it traffic — decides whether to declare them dead.
+var ErrRecvStall = errors.New("cluster: receive stalled past failure-detection timeout")
+
 // errCancelled is returned by the transports' recv when the caller's cancel
 // channel fires before a message arrives. It never escapes the package:
 // the ctx-aware Node methods translate it to the context's own error.
@@ -80,7 +92,28 @@ type Config struct {
 	NetBandwidth int64
 	// InboxCapacity bounds each node's receive queue; 0 means 4096.
 	InboxCapacity int
+	// FailureTimeout, if positive, enables failure detection: a barrier
+	// waiter that sees no progress for this long accuses the non-arrived
+	// nodes, and the stall-aware receive paths (RecvStreamWhile) report
+	// ErrRecvStall after an inter-message gap of this length. Zero disables
+	// detection, restoring the block-forever behaviour.
+	FailureTimeout time.Duration
 }
+
+// WireAction is a fault-injection verdict for one outbound frame.
+type WireAction int
+
+const (
+	// WireDeliver lets the frame through untouched (the default).
+	WireDeliver WireAction = iota
+	// WireDrop silently discards the frame: the sender sees success, the
+	// receiver sees nothing — a lost packet past the transport's own
+	// reliability, or a crash between send and delivery.
+	WireDrop
+	// WireDuplicate delivers the frame twice, modelling a retransmission
+	// race. Counted protocols must dedupe to survive it.
+	WireDuplicate
+)
 
 // Metrics captures one node's accumulated traffic. The last three fields
 // describe the node's pipelined Sender, when it uses one: how often an
@@ -110,24 +143,33 @@ type message struct {
 }
 
 // transport is the substrate interface shared by Inproc and TCP. recv
-// blocks until a message for the node arrives, the transport closes, or —
-// when cancel is non-nil — cancel fires, in which case it returns
-// errCancelled. A pending message always wins over a racing cancel or
-// close, so cancellation never drops delivered traffic.
+// blocks until a message for the node arrives, the transport closes, or
+// one of the optional interrupt channels fires: cancel (errCancelled),
+// memb — closed when membership changes — (ErrMembershipChanged), or
+// stall — a timer channel — (ErrRecvStall). A pending message always wins
+// over a racing cancel, stall, or close, so none of them drops delivered
+// traffic; a membership interrupt deliberately wins over a pending message,
+// because the caller must re-acknowledge the view before it can tell which
+// queued frames are still meaningful.
 type transport interface {
 	send(from, to int, payload []byte) error
-	recv(node int, cancel <-chan struct{}) (message, error)
+	recv(node int, cancel, memb <-chan struct{}, stall <-chan time.Time) (message, error)
 	close() error
 }
 
 // recvFromInbox is the receive path shared by both transports: block until
-// a message, a cancel, or shutdown. A message that already reached the
-// inbox always wins over a racing cancel or close, so neither cancellation
-// nor shutdown drops delivered traffic.
-func recvFromInbox(inbox <-chan message, cancel, done <-chan struct{}) (message, error) {
+// a message, a cancel, a membership change, a stall timeout, or shutdown.
+// Nil interrupt channels never fire, so the classic block-forever receive
+// passes nil for all three.
+func recvFromInbox(inbox <-chan message, cancel, memb <-chan struct{}, stall <-chan time.Time, done <-chan struct{}) (message, error) {
 	select {
 	case msg := <-inbox:
 		return msg, nil
+	case <-memb:
+		// Do NOT consume a pending message: it may be from a node that the
+		// new membership view declares dead, and only a caller that has
+		// acknowledged the view can filter it correctly.
+		return message{}, ErrMembershipChanged
 	case <-cancel:
 		select {
 		case msg := <-inbox:
@@ -135,6 +177,13 @@ func recvFromInbox(inbox <-chan message, cancel, done <-chan struct{}) (message,
 		default:
 		}
 		return message{}, errCancelled
+	case <-stall:
+		select {
+		case msg := <-inbox:
+			return msg, nil
+		default:
+		}
+		return message{}, ErrRecvStall
 	case <-done:
 		select {
 		case msg := <-inbox:
@@ -189,6 +238,25 @@ type Cluster struct {
 	netBusy  []time.Time
 	closedMu sync.Mutex
 	closed   bool
+
+	// Membership. alive[i] is false once node i has been declared dead;
+	// epoch counts declarations. acked[i] is the epoch node i last
+	// acknowledged via AckMembership — blocking operations of a node whose
+	// acked lags the epoch fail with ErrMembershipChanged until it
+	// re-acknowledges, so no node mixes traffic across membership views.
+	// epochCh holds a chan struct{} closed (and replaced) on each
+	// declaration, waking blocked receivers.
+	alive    []atomic.Bool
+	aliveCnt atomic.Int32
+	acked    []atomic.Uint64
+	epochAt  atomic.Uint64
+	epochCh  atomic.Value // chan struct{}
+	membMu   sync.Mutex
+
+	// wireHook, when set, vets every outbound cross-node frame — the
+	// fault-injection hook. Called from transport-writing goroutines, so it
+	// must be safe for concurrent use.
+	wireHook atomic.Value // func(from, to, size int) WireAction
 }
 
 // New creates a cluster with the given configuration.
@@ -211,7 +279,14 @@ func New(cfg Config) (*Cluster, error) {
 		enqueued: make([]atomic.Int64, cfg.NumNodes),
 		netMu:    make([]sync.Mutex, cfg.NumNodes),
 		netBusy:  make([]time.Time, cfg.NumNodes),
+		alive:    make([]atomic.Bool, cfg.NumNodes),
+		acked:    make([]atomic.Uint64, cfg.NumNodes),
 	}
+	for i := range c.alive {
+		c.alive[i].Store(true)
+	}
+	c.aliveCnt.Store(int32(cfg.NumNodes))
+	c.epochCh.Store(make(chan struct{}))
 	var err error
 	switch cfg.Transport {
 	case Inproc:
@@ -229,6 +304,9 @@ func New(cfg Config) (*Cluster, error) {
 
 // NumNodes returns N.
 func (c *Cluster) NumNodes() int { return c.cfg.NumNodes }
+
+// Alive reports whether node i is a live member.
+func (c *Cluster) Alive(i int) bool { return c.alive[i].Load() }
 
 // Node returns the handle for node i.
 func (c *Cluster) Node(i int) *Node {
@@ -249,7 +327,47 @@ func (c *Cluster) Close() error {
 	return c.tr.close()
 }
 
-// NodeMetrics returns a snapshot of node i's traffic counters.
+// SetWireHook installs (or clears, with nil) the fault-injection hook
+// consulted for every outbound cross-node frame. The hook runs on whatever
+// goroutine performs the send — compute workers, Sender drains — so it must
+// be safe for concurrent use.
+func (c *Cluster) SetWireHook(hook func(from, to, size int) WireAction) {
+	if hook == nil {
+		c.wireHook.Store((func(from, to, size int) WireAction)(nil))
+		return
+	}
+	c.wireHook.Store(hook)
+}
+
+func (c *Cluster) loadWireHook() func(from, to, size int) WireAction {
+	if v := c.wireHook.Load(); v != nil {
+		if hook, _ := v.(func(from, to, size int) WireAction); hook != nil {
+			return hook
+		}
+	}
+	return nil
+}
+
+// declareDead marks rank dead, advances the membership epoch, resets the
+// in-flight barrier generation, and wakes every blocked receiver and
+// barrier waiter. Idempotent per rank.
+func (c *Cluster) declareDead(rank int) {
+	c.membMu.Lock()
+	if !c.alive[rank].Load() {
+		c.membMu.Unlock()
+		return
+	}
+	c.alive[rank].Store(false)
+	c.aliveCnt.Add(-1)
+	epoch := c.epochAt.Add(1)
+	old := c.epochCh.Load().(chan struct{})
+	c.epochCh.Store(make(chan struct{}))
+	// Depose inside membMu so a node can never observe the new epoch via
+	// AckMembership while the barrier still carries the old one.
+	c.bar.depose(rank, epoch)
+	c.membMu.Unlock()
+	close(old)
+}
 func (c *Cluster) NodeMetrics(i int) Metrics {
 	return Metrics{
 		BytesSent:      c.sent[i].Load(),
@@ -325,17 +443,37 @@ func (n *Node) ID() int { return n.id }
 func (n *Node) NumNodes() int { return n.c.cfg.NumNodes }
 
 // Send delivers payload to node `to`. Sending to self is allowed and
-// bypasses the network model.
+// bypasses the network model. A frame to or from a dead node is silently
+// dropped — the bytes vanish the way packets to a crashed host do — so
+// teardown paths can keep draining queues without spraying errors.
 func (n *Node) Send(to int, payload []byte) error {
 	if to < 0 || to >= n.c.cfg.NumNodes {
 		return fmt.Errorf("cluster: node %d sending to invalid node %d", n.id, to)
 	}
+	if !n.c.alive[n.id].Load() || !n.c.alive[to].Load() {
+		return nil
+	}
+	dup := false
 	if to != n.id {
+		if hook := n.c.loadWireHook(); hook != nil {
+			switch hook(n.id, to, len(payload)) {
+			case WireDrop:
+				return nil
+			case WireDuplicate:
+				dup = true
+			}
+		}
 		n.c.throttleNet(n.id, len(payload))
 		n.c.sent[n.id].Add(int64(len(payload)))
 		n.c.msgsS[n.id].Add(1)
 	}
-	return n.c.tr.send(n.id, to, payload)
+	err := n.c.tr.send(n.id, to, payload)
+	if dup && err == nil {
+		n.c.sent[n.id].Add(int64(len(payload)))
+		n.c.msgsS[n.id].Add(1)
+		err = n.c.tr.send(n.id, to, payload)
+	}
+	return err
 }
 
 // Broadcast delivers payload to every other node — the ZMQ-style broadcast
@@ -371,13 +509,36 @@ func (n *Node) Recv() (from int, payload []byte, err error) {
 // accounting. The returned message may carry a pooled holder. A nil cancel
 // channel blocks indefinitely (the classic behaviour).
 func (n *Node) recvMsg(cancel <-chan struct{}) (message, error) {
-	m, err := n.c.tr.recv(n.id, cancel)
-	if err != nil {
-		return message{}, err
+	return n.recvMsgStall(cancel, nil)
+}
+
+// recvMsgStall is recvMsg with an optional stall-timer channel. It enforces
+// the membership contract: a receiver whose acknowledged epoch lags the
+// cluster's fails with ErrMembershipChanged (and is woken out of a blocked
+// receive when a declaration happens), and frames from dead senders are
+// filtered — they belong to the old membership view.
+func (n *Node) recvMsgStall(cancel <-chan struct{}, stall <-chan time.Time) (message, error) {
+	for {
+		// Load the epoch channel before checking staleness: if a
+		// declaration lands between the two, either we loaded the new
+		// channel (and the epoch check below fails) or we loaded the old
+		// one (which the declaration closes, waking us).
+		membCh := n.c.epochCh.Load().(chan struct{})
+		if n.c.epochAt.Load() != n.c.acked[n.id].Load() {
+			return message{}, ErrMembershipChanged
+		}
+		m, err := n.c.tr.recv(n.id, cancel, membCh, stall)
+		if err != nil {
+			return message{}, err
+		}
+		if !n.c.alive[m.from].Load() {
+			putWireBuf(m.pool)
+			continue
+		}
+		n.c.recvd[n.id].Add(int64(len(m.payload)))
+		n.c.msgsR[n.id].Add(1)
+		return m, nil
 	}
-	n.c.recvd[n.id].Add(int64(len(m.payload)))
-	n.c.msgsR[n.id].Add(1)
-	return m, nil
 }
 
 // RecvStream receives exactly count messages, invoking fn for each one as
@@ -436,15 +597,102 @@ func (n *Node) RecvN(count int) ([][]byte, []int, error) {
 	return payloads, froms, nil
 }
 
+// RecvStreamWhile receives messages until fn reports it is done, with the
+// failure-detection timeout armed between messages: when FailureTimeout is
+// positive and no message arrives for that long, the stream stops with
+// ErrRecvStall and the caller — who knows which peers still owe traffic —
+// decides whom to accuse. Payload buffers are recycled after each callback
+// (fn must not retain them). A nil ctx blocks without cancellation.
+func (n *Node) RecvStreamWhile(ctx context.Context, fn func(from int, payload []byte) (done bool, err error)) error {
+	var cancel <-chan struct{}
+	if ctx != nil {
+		cancel = ctx.Done()
+	}
+	gap := n.c.cfg.FailureTimeout
+	var timer *time.Timer
+	var stall <-chan time.Time
+	if gap > 0 {
+		timer = time.NewTimer(gap)
+		defer timer.Stop()
+		stall = timer.C
+	}
+	for {
+		m, err := n.recvMsgStall(cancel, stall)
+		if err != nil {
+			if errors.Is(err, errCancelled) {
+				return ctx.Err()
+			}
+			return err
+		}
+		if timer != nil {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(gap)
+		}
+		done, err := fn(m.from, m.payload)
+		putWireBuf(m.pool)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
 // Metrics returns a snapshot of this node's traffic counters — the same
 // data as Cluster.NodeMetrics, reachable from the node handle so a server
 // program can observe its own backpressure signal mid-run (the adaptive
 // send-queue sizing reads SendStalls/QueueHighWater between supersteps).
 func (n *Node) Metrics() Metrics { return n.c.NodeMetrics(n.id) }
 
+// Alive reports whether node i is still a cluster member.
+func (n *Node) Alive(i int) bool { return n.c.alive[i].Load() }
+
+// AliveCount returns the number of live members.
+func (n *Node) AliveCount() int { return int(n.c.aliveCnt.Load()) }
+
+// Crash removes this node from the cluster: its future sends are dropped,
+// frames it already sent are filtered at receivers, and every live node's
+// blocked barrier and receive calls fail with ErrMembershipChanged until
+// they acknowledge the new view. The simulated power cut.
+func (n *Node) Crash() { n.c.declareDead(n.id) }
+
+// DeclareDead removes another node from the cluster — the failure
+// detector's verdict, invoked by a survivor whose barrier or receive
+// timed out on rank.
+func (n *Node) DeclareDead(rank int) {
+	if rank < 0 || rank >= n.c.cfg.NumNodes {
+		return
+	}
+	n.c.declareDead(rank)
+}
+
+// AckMembership acknowledges the current membership view, unblocking this
+// node's transport operations after a declaration, and returns the epoch
+// with a consistent snapshot of the alive set. Recovery protocols call it
+// first: the returned view tells a node whether it is itself among the
+// dead (fenced — a falsely-accused node must stop, not fight the quorum).
+func (n *Node) AckMembership() (epoch uint64, alive []bool) {
+	c := n.c
+	c.membMu.Lock()
+	epoch = c.epochAt.Load()
+	alive = make([]bool, c.cfg.NumNodes)
+	for i := range alive {
+		alive[i] = c.alive[i].Load()
+	}
+	c.membMu.Unlock()
+	c.acked[n.id].Store(epoch)
+	return epoch, alive
+}
+
 // Barrier blocks until every node in the cluster has reached it — the BSP
 // synchronization point of Algorithm 5 line 17.
-func (n *Node) Barrier() { n.c.bar.waitVote(false) }
+func (n *Node) Barrier() { n.BarrierVote(false) }
 
 // BarrierVote is Barrier with a one-bit consensus: every node contributes a
 // flag, and all nodes leave the barrier observing the OR of every flag.
@@ -452,9 +700,45 @@ func (n *Node) Barrier() { n.c.bar.waitVote(false) }
 // each server votes its context's state and either all of them abort or
 // none do, so no server can start the next superstep (and its counted
 // message traffic) while another is unwinding. It also returns true when
-// the cluster has aborted (broken barrier); callers distinguish the two by
-// checking their context.
-func (n *Node) BarrierVote(flag bool) bool { return n.c.bar.waitVote(flag) }
+// the cluster has aborted (broken barrier) or the membership changed;
+// callers distinguish the cases by checking their context.
+func (n *Node) BarrierVote(flag bool) bool {
+	d, err := n.BarrierVoteErr(flag)
+	if err != nil {
+		return true
+	}
+	return d
+}
+
+// BarrierErr is Barrier with failure detection: it returns
+// ErrMembershipChanged when a member died (or this node was fenced) and the
+// caller must re-acknowledge the view before synchronizing again.
+func (n *Node) BarrierErr() error {
+	_, err := n.BarrierVoteErr(false)
+	return err
+}
+
+// BarrierVoteErr is BarrierVote with failure detection. When
+// FailureTimeout is set and some member never arrives, the lowest-ranked
+// waiting member accuses and deposes the absentees; every waiter then
+// returns ErrMembershipChanged. A broken (aborted) barrier still returns
+// (true, nil), mirroring BarrierVote.
+func (n *Node) BarrierVoteErr(flag bool) (bool, error) {
+	for {
+		acked := n.c.acked[n.id].Load()
+		d, suspects, err := n.c.bar.waitVote(n.id, flag, acked, n.c.cfg.FailureTimeout)
+		if errors.Is(err, ErrRecvStall) {
+			// This node is the designated accuser: depose the absentees and
+			// re-enter — the now-stale acked epoch converts the retry into
+			// the same ErrMembershipChanged every other waiter sees.
+			for _, s := range suspects {
+				n.c.declareDead(s)
+			}
+			continue
+		}
+		return d, err
+	}
+}
 
 // Run executes fn once per node, each on its own goroutine (the SPMD
 // pattern of an MPI program), and blocks until every node returns. If any
@@ -507,15 +791,24 @@ func (c *Cluster) abort() {
 	c.Close()
 }
 
-// reusableBarrier is a classic generation-counting N-party barrier with a
-// break switch for aborted runs and a per-generation one-bit vote.
+// reusableBarrier is a generation-counting N-party barrier with a break
+// switch for aborted runs, a per-generation one-bit vote, and membership
+// awareness: only live members count toward completion, a membership epoch
+// bump resets the filling generation (every waiter unwinds with
+// ErrMembershipChanged), and an optional timeout turns the barrier into a
+// failure detector — the lowest-ranked arrived member accuses whoever
+// never showed up.
 type reusableBarrier struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	n      int
+	n      int // live member count
 	count  int
 	gen    uint64
+	epoch  uint64
 	broken bool
+
+	alive   []bool
+	arrived []bool
 
 	// pending ORs the flags of the generation currently filling; decision is
 	// the result of the last completed generation. A late waiter of
@@ -527,38 +820,120 @@ type reusableBarrier struct {
 }
 
 func newReusableBarrier(n int) *reusableBarrier {
-	b := &reusableBarrier{n: n}
+	b := &reusableBarrier{n: n, alive: make([]bool, n), arrived: make([]bool, n)}
+	for i := range b.alive {
+		b.alive[i] = true
+	}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
-// waitVote blocks until all n parties arrive, then returns the OR of every
-// party's flag. A broken barrier returns true immediately: an aborting
-// cluster must look like a unanimous abort vote to anyone still running.
-func (b *reusableBarrier) waitVote(flag bool) bool {
+// waitVote blocks until all live parties arrive, then returns the OR of
+// every party's flag. A broken barrier returns (true, nil, nil)
+// immediately: an aborting cluster must look like a unanimous abort vote to
+// anyone still running. acked is the caller's acknowledged membership
+// epoch; if it lags the barrier's — or lags it by the time the wait ends —
+// the call fails with ErrMembershipChanged. With a positive timeout, a
+// waiter that sees no completion for that long wakes; the lowest-ranked
+// arrived live member returns the non-arrived live members as suspects
+// with ErrRecvStall (the caller deposes them), everyone else re-arms and
+// keeps waiting.
+func (b *reusableBarrier) waitVote(id int, flag bool, acked uint64, timeout time.Duration) (decision bool, suspects []int, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.broken {
-		return true
+		return true, nil, nil
+	}
+	if acked != b.epoch || !b.alive[id] {
+		return false, nil, ErrMembershipChanged
 	}
 	gen := b.gen
+	epoch := b.epoch
 	b.pending = b.pending || flag
 	b.count++
+	b.arrived[id] = true
 	if b.count == b.n {
 		b.count = 0
+		for i := range b.arrived {
+			b.arrived[i] = false
+		}
 		b.decision = b.pending
 		b.pending = false
 		b.gen++
 		b.cond.Broadcast()
-		return b.decision
+		return b.decision, nil, nil
 	}
-	for gen == b.gen && !b.broken {
-		b.cond.Wait()
+	fired := false
+	var timer *time.Timer
+	if timeout > 0 {
+		timer = time.AfterFunc(timeout, func() {
+			b.mu.Lock()
+			if b.gen == gen && b.epoch == epoch && !b.broken {
+				fired = true
+				b.cond.Broadcast()
+			}
+			b.mu.Unlock()
+		})
+		defer timer.Stop()
 	}
-	if b.broken {
-		return true
+	for {
+		for gen == b.gen && epoch == b.epoch && !b.broken && !fired {
+			b.cond.Wait()
+		}
+		if b.broken {
+			return true, nil, nil
+		}
+		if gen != b.gen {
+			return b.decision, nil, nil
+		}
+		if epoch != b.epoch {
+			return false, nil, ErrMembershipChanged
+		}
+		// Timeout with the generation still filling. Exactly one waiter —
+		// the lowest-ranked arrived live member — becomes the accuser; the
+		// rest re-arm and wait for the deposal to unwind them.
+		fired = false
+		accuser := -1
+		for r, ok := range b.arrived {
+			if ok && b.alive[r] {
+				accuser = r
+				break
+			}
+		}
+		if accuser == id {
+			for r, live := range b.alive {
+				if live && !b.arrived[r] {
+					suspects = append(suspects, r)
+				}
+			}
+			if len(suspects) > 0 {
+				return false, suspects, ErrRecvStall
+			}
+		}
+		timer.Reset(timeout)
 	}
-	return b.decision
+}
+
+// depose removes rank from the barrier's membership at the given epoch and
+// resets the filling generation: counts and votes are discarded (the
+// survivors will re-synchronize after recovery) and every waiter wakes to
+// find the epoch changed. The generation counter is NOT advanced — no
+// generation completed, and waiters distinguish deposal from completion by
+// the epoch.
+func (b *reusableBarrier) depose(rank int, epoch uint64) {
+	b.mu.Lock()
+	if b.alive[rank] {
+		b.alive[rank] = false
+		b.n--
+	}
+	b.epoch = epoch
+	b.count = 0
+	for i := range b.arrived {
+		b.arrived[i] = false
+	}
+	b.pending = false
+	b.cond.Broadcast()
+	b.mu.Unlock()
 }
 
 // breakBarrier permanently releases all current and future waiters.

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // inprocTransport moves messages over per-node buffered channels. Payloads
@@ -46,8 +47,8 @@ func (t *inprocTransport) send(from, to int, payload []byte) error {
 	}
 }
 
-func (t *inprocTransport) recv(node int, cancel <-chan struct{}) (message, error) {
-	return recvFromInbox(t.inboxes[node], cancel, t.done)
+func (t *inprocTransport) recv(node int, cancel, memb <-chan struct{}, stall <-chan time.Time) (message, error) {
+	return recvFromInbox(t.inboxes[node], cancel, memb, stall, t.done)
 }
 
 func (t *inprocTransport) close() error {

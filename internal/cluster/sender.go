@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -204,6 +205,41 @@ func (s *Sender) Flush() error {
 	}
 	return s.err
 }
+
+// Abort tears the Sender down on the crash path: already-enqueued buffers
+// are drained and discarded by the destination goroutines (a crashed node's
+// sends are dropped at the transport anyway), nothing is flushed, and Abort
+// does not wait for the drains to finish. Unlike Close it never blocks on a
+// peer, so a dying node can always get through it. Safe to call after
+// Close; Close after Abort is a no-op.
+func (s *Sender) Abort() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.err == nil {
+		s.err = errSenderAborted
+	}
+	s.mu.Unlock()
+	for _, q := range s.queues {
+		if q != nil {
+			close(q)
+		}
+	}
+}
+
+// errSenderAborted marks a Sender torn down by Abort; recorded as the
+// asynchronous error so drains discard instead of writing.
+var errSenderAborted = errors.New("cluster: sender aborted")
+
+// Join waits for the destination goroutines to exit. It must only be
+// called after Abort or Close has closed the queues. Recovery uses
+// Abort+Join to guarantee that every frame of an interrupted superstep is
+// on the wire (or discarded) before the first recovery marker is sent, so
+// per-pair FIFO ordering lets receivers drain all stale step traffic.
+func (s *Sender) Join() { s.wg.Wait() }
 
 // Close flushes, stops the destination goroutines, waits for them, and
 // returns Flush's error. The Sender must not be used afterwards.

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // tcpTransport connects every node pair with a loopback TCP connection and
@@ -216,8 +217,8 @@ func (t *tcpTransport) send(from, to int, payload []byte) error {
 // hdrPool recycles TCP frame headers (see send).
 var hdrPool = sync.Pool{New: func() any { return new([8]byte) }}
 
-func (t *tcpTransport) recv(node int, cancel <-chan struct{}) (message, error) {
-	return recvFromInbox(t.inboxes[node], cancel, t.done)
+func (t *tcpTransport) recv(node int, cancel, memb <-chan struct{}, stall <-chan time.Time) (message, error) {
+	return recvFromInbox(t.inboxes[node], cancel, memb, stall, t.done)
 }
 
 func (t *tcpTransport) close() error {

@@ -115,6 +115,24 @@ type Config struct {
 	// DiskFailureHook, when non-nil, is installed on every server's local
 	// tile store — failure injection for tests (see disk.Store).
 	DiskFailureHook func(server int, op, name string) error
+	// CheckpointEvery, when positive, writes a consistent checkpoint of
+	// the vertex state every that-many supersteps, enabling crash recovery
+	// (see checkpoint.go and recovery.go). Requires All-in-All replication
+	// and disables the dynamic rebalancer for checkpointed jobs (a crash
+	// mid-migration could lose the only copy of a moving tile). Sessions
+	// treat it as the per-job default; JobOptions.CheckpointEvery
+	// overrides it for one Submit. costmodel.CheckpointEverySteps computes
+	// Young's-formula guidance for this knob.
+	CheckpointEvery int
+	// FailureTimeout, when positive, arms the cluster's failure detector:
+	// a server whose barrier vote or update traffic stalls for this long
+	// is declared dead by the survivors. Without it, only self-declared
+	// crashes are detected — a hung server blocks the job forever.
+	FailureTimeout time.Duration
+	// Faults scripts deterministic failures into the session — server
+	// kills, disk-op errors, dropped or duplicated wire frames (see
+	// fault.go). nil injects nothing.
+	Faults *FaultPlan
 }
 
 // DefaultConfig returns the paper's default engine configuration for an
@@ -147,6 +165,16 @@ func (c Config) normalized() Config {
 	}
 	if c.BloomCheckLimit <= 0 {
 		c.BloomCheckLimit = 1024
+	}
+	if c.CheckpointEvery < 0 {
+		c.CheckpointEvery = 0
+	}
+	if c.CheckpointEvery > 255 {
+		// The step byte framing update batches disambiguates stale frames
+		// only while replay never reaches 256 steps; cap the interval there
+		// (a 255-step checkpoint interval is already past any useful
+		// Young's-formula answer).
+		c.CheckpointEvery = 255
 	}
 	return c
 }
@@ -314,6 +342,39 @@ type server struct {
 	rebal    *rebalancer
 	tilesIn  int
 	tilesOut int
+
+	// Fault tolerance. workRoot is the session work directory (recovery
+	// reads dead peers' tile blobs from their subdirectories); baseOwner
+	// and curOwner are this server's copies of the tile→server ownership
+	// tables (base: as if every server were alive; cur: after
+	// reassignment); ownedCnt[p] is how many tiles server p currently
+	// owns — the per-sender expected-batch count of the counted receive
+	// protocol; recvdFrom and seenTiles are per-step receive tallies (a
+	// distinct-tile bitset defeats duplicated frames); faults is the
+	// compiled fault plan; dead marks a killed or fenced server (its job
+	// loop becomes a zombie).
+	workRoot  string
+	baseOwner []int
+	curOwner  []int
+	ownedCnt  []int
+	recvdFrom []int
+	seenTiles []uint64
+	faults    *compiledFaults
+	dead      bool
+
+	// Per-job checkpoint/recovery state: the effective interval, the blob
+	// encode buffer, the retained checkpoint steps, the marker-exchange
+	// scratch, and the stats counters fillServerStats snapshots.
+	ckptEvery    int
+	ckptBuf      []byte
+	ckptSteps    []int
+	markerBuf    []byte
+	markerSeen   []bool
+	ckptCount    int
+	ckptBytes    int64
+	tilesAdopted int
+	recoveries   int
+	recoveryTime time.Duration
 }
 
 // runJob executes one submitted program on this server: per-job state is
@@ -324,6 +385,12 @@ type server struct {
 // cancelled job leaves the session healthy — and non-nil only for hard
 // errors that abort the whole session.
 func (s *server) runJob(jb *job) (fatal error) {
+	if s.dead {
+		// A killed or fenced server is a zombie: it consumes submissions
+		// so Submit's fan-out never blocks, but contributes nothing. The
+		// survivors fill the result.
+		return nil
+	}
 	defer func() {
 		// Drop the per-job references on the way out: an idle session must
 		// not pin the finished job's Result vector, the caller's Progress
@@ -338,6 +405,13 @@ func (s *server) runJob(jb *job) (fatal error) {
 	s.progress = jb.progress
 	s.result = jb.res
 	s.tilesIn, s.tilesOut = 0, 0
+	s.ckptEvery = jb.ckptEvery
+	s.ckptCount, s.ckptBytes = 0, 0
+	s.tilesAdopted, s.recoveries, s.recoveryTime = 0, 0, 0
+	if err := s.clearCheckpoints(); err != nil {
+		jb.errs[s.node.ID()] = err
+		return err
+	}
 	for i := range s.staged {
 		s.staged[i] = s.staged[i][:0]
 	}
@@ -369,12 +443,30 @@ func (s *server) runJob(jb *job) (fatal error) {
 			}
 		}()
 	}
-	s.rebal = newRebalancer(s.cfg, s.node.NumNodes())
+	// The rebalancer and checkpointing are mutually exclusive per job: a
+	// crash mid-migration could lose the only copy of a moving tile, and
+	// recovery's pure-function tile placement assumes the base ownership
+	// table only changes at rebalance boundaries it can see. The gate is
+	// evaluated from per-job knobs and session-stable membership, so it is
+	// identical on every server. A cluster that has already lost members
+	// also runs without the rebalancer: its stats protocol counts on every
+	// rank reporting.
+	s.rebal = nil
+	if s.ckptEvery == 0 && s.node.AliveCount() == s.node.NumNodes() {
+		s.rebal = newRebalancer(s.cfg, s.node.NumNodes())
+	}
 
 	loopStart := time.Now()
 	steps, err := s.superstepLoop()
 	jb.steps[s.node.ID()] = steps
 	if err != nil {
+		if errors.Is(err, errServerKilled) {
+			// This server died mid-job (scripted kill or fencing). Its
+			// partial step stats would pollute the merged result, and the
+			// session must stay usable: report nothing, become a zombie.
+			jb.steps[s.node.ID()] = nil
+			return nil
+		}
 		var jc jobCancelled
 		if errors.As(err, &jc) {
 			jb.cancels[s.node.ID()] = jc.cause
@@ -386,6 +478,12 @@ func (s *server) runJob(jb *job) (fatal error) {
 	atomicMax(&jb.loopMax, int64(time.Since(loopStart)))
 
 	if err := s.collectResult(); err != nil {
+		if errors.Is(err, errServerKilled) {
+			// Fenced during result assembly: same zombie exit as a mid-loop
+			// death — the partial stats are dropped, survivors fill the rest.
+			jb.steps[s.node.ID()] = nil
+			return nil
+		}
 		jb.errs[s.node.ID()] = err
 		return err
 	}
@@ -546,6 +644,18 @@ func (s *server) setup() error {
 	s.updBufs = make([][]comm.Update, len(s.metas))
 	s.staged = make([][]comm.Update, s.node.NumNodes())
 
+	// Fault-tolerance bookkeeping: the current ownership table starts as a
+	// copy of the base one (Open built baseOwner from the initial
+	// assignment), the per-sender expected-batch counts derive from it, and
+	// the per-step receive tallies are sized for the cluster and tile count.
+	s.curOwner = append([]int(nil), s.baseOwner...)
+	s.ownedCnt = make([]int, s.node.NumNodes())
+	for _, owner := range s.baseOwner {
+		s.ownedCnt[owner]++
+	}
+	s.recvdFrom = make([]int, s.node.NumNodes())
+	s.seenTiles = make([]uint64, (s.total+63)/64)
+
 	capacity := s.cfg.CacheCapacity
 	switch {
 	case capacity == 0:
@@ -614,154 +724,33 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 			// reference bits on this epoch counter (§IV-B extension).
 			s.cache.AdvanceEpoch()
 		}
-		stepStart := time.Now()
-		st := StepStats{Superstep: step}
-		// Tile migrations change ownership between steps, so the expected
-		// foreign-batch count is per-step: one broadcast per non-owned tile.
-		expected := s.total - len(s.metas)
-
-		// Pipelined receive: decode foreign batches into per-sender scratch
-		// as they arrive, concurrently with local compute. Applying waits
-		// until compute finishes so every gather reads step-(k-1) values.
-		var recvErr chan error
-		if s.sender != nil && expected > 0 {
-			recvErr = make(chan error, 1)
-			// ctx rides in as an argument, not via the s.ctx field: on a
-			// hard error the loop can return without joining this
-			// goroutine, which then must not race runJob's per-job field
-			// teardown (the cluster abort is what unblocks and ends it).
-			go func(ctx context.Context) { recvErr <- s.receiveForeign(ctx, expected) }(s.ctx)
-		}
-
-		// Parallel tile processing on T workers (OpenMP pragma analog).
-		outs := s.outs
-		work := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < s.cfg.WorkersPerServer; w++ {
-			wg.Add(1)
-			go func(scr *workerScratch) {
-				defer wg.Done()
-				for k := range work {
-					outs[k] = s.processTile(k, step, prevUpdated, encOpts, scr)
-				}
-			}(s.scratch[w])
-		}
-		for k := range s.metas {
-			work <- k
-		}
-		close(work)
-		wg.Wait()
-
-		updatedTotal := 0
-		newUpdated := updatedBuf[:0]
-		overLimit := false
-		absorb := func(ups []comm.Update) {
-			for _, u := range ups {
-				s.state.set(u.ID, u.Value)
-			}
-			updatedTotal += len(ups)
-			if !overLimit {
-				for _, u := range ups {
-					newUpdated = append(newUpdated, u.ID)
-				}
-				if len(newUpdated) > s.cfg.BloomCheckLimit {
-					overLimit = true
-					newUpdated = newUpdated[:0] // keep the buffer for reuse
-				}
-			}
-		}
-
-		for k := range outs {
-			o := &outs[k]
-			if o.err != nil {
-				return nil, o.err
-			}
-			if o.skipped {
-				st.SkippedTiles++
-			} else {
-				st.LoadedTiles++
-			}
-			if o.enc.Mode == comm.DenseMode {
-				st.DenseMsgs++
-			} else {
-				st.SparseMsgs++
-			}
-			// Wire bytes: each batch went to N-1 peers.
-			st.WireBytes += int64(o.enc.WireBytes) * int64(n.NumNodes()-1)
-			st.RawBytes += int64(o.enc.RawBytes) * int64(n.NumNodes()-1)
-			absorb(o.updates)
-		}
-
-		// The Broadcast leg of GAB, receiver side. Pipelined: the concurrent
-		// receive loop already decoded everything it could during compute;
-		// drain the send queues (flush-at-barrier), join it, and apply the
-		// staged updates in sender-rank order. Lockstep: receive and decode
-		// everything here, after compute, into one reused Batch value.
-		switch {
-		case recvErr != nil:
-			if err := s.sender.Flush(); err != nil {
-				return nil, err
-			}
-			if err := <-recvErr; err != nil {
-				return nil, err
-			}
-			for from := range s.staged {
-				absorb(s.staged[from])
-				s.staged[from] = s.staged[from][:0]
-			}
-		case n.NumNodes() > 1:
-			if s.sender != nil {
-				if err := s.sender.Flush(); err != nil {
-					return nil, err
-				}
-			}
-			msgs, _, err := n.RecvN(expected)
-			if err != nil {
-				return nil, err
-			}
-			for _, m := range msgs {
-				if _, err := comm.DecodeInto(&s.recvBatch, m); err != nil {
-					return nil, fmt.Errorf("core: server %d decoding update batch: %w", n.ID(), err)
-				}
-				absorb(s.recvBatch.Updates)
-			}
-		}
-
-		st.Updated = updatedTotal
-		st.Duration = time.Since(stepStart)
-
-		// First barrier: every server has absorbed every update batch of
-		// this step, so no update traffic is in flight afterwards. The same
-		// barrier carries the cancellation consensus — if any server's
-		// context is done, all servers abort here, at the same step edge,
-		// leaving the transport clean for the session's next job.
-		if n.BarrierVote(s.ctx.Err() != nil) {
-			if cerr := s.ctx.Err(); cerr != nil {
-				return steps, jobCancelled{cause: cerr}
-			}
-			// The vote was forced by a broken barrier: a peer hit a hard
-			// error and the cluster is aborting underneath us.
-			return steps, fmt.Errorf("core: server %d: superstep barrier: %w", n.ID(), cluster.ErrClosed)
-		}
-		if updatedTotal != 0 && step+1 < s.maxSteps && s.rebal != nil {
-			// Rebalance phase, only when a next superstep will actually run
-			// (migrating after the last budgeted step would ship tiles no
-			// one processes). The gate (rebal non-nil, the step budget, and
-			// updatedTotal — which is identical on every server) is
-			// evaluated identically everywhere, so either all servers enter
-			// the phase or none do.
-			if err := s.rebalanceStep(step, &st); err != nil {
+		st, updatedTotal, newUpdated, overLimit, err := s.runStep(step, prevUpdated, updatedBuf, encOpts)
+		if err != nil {
+			if !s.canRecover(err) {
 				return steps, err
 			}
-			// Second barrier: no server starts the next superstep (and its
-			// update traffic) while tiles are still moving.
-			n.Barrier()
+			restore, rerr := s.recoverFromFailure()
+			if rerr != nil {
+				return steps, rerr
+			}
+			// Rewind the step record to the restore point: the replayed
+			// steps re-append identical rows (re-execution is
+			// bit-identical, so the Updated series repeats exactly; only
+			// timings and per-server byte shares differ).
+			if len(steps) > restore+1 {
+				steps = steps[:restore+1]
+			}
+			step = restore // the loop increment resumes at restore+1
+			prevUpdated = nil
+			updatedBuf = updatedBuf[:0]
+			continue
 		}
 		steps = append(steps, st)
-		if s.progress != nil && n.ID() == 0 {
+		if s.progress != nil && n.ID() == s.coordRank() {
 			// Live progress, streamed at the barrier edge from the
-			// coordinator. Superstep/Updated are global; the byte and tile
-			// counters are this server's local share.
+			// coordinator (the lowest live rank — the role fails over).
+			// Superstep/Updated are global; the byte and tile counters are
+			// this server's local share.
 			s.progress(st)
 		}
 		if updatedTotal == 0 {
@@ -777,6 +766,234 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 		}
 	}
 	return steps, nil
+}
+
+// runStep executes one superstep: compute over the assigned tiles with the
+// pipelined (or lockstep) broadcast of updates, the counted receive of
+// every live peer's batches, the step-end consensus barrier, and the
+// checkpoint and rebalance phases inside the barrier bracket. It returns
+// the step's stats, the global updated count, the new updated-vertex list
+// (sharing updatedBuf's backing array) and whether that list overflowed
+// BloomCheckLimit. A cluster.ErrMembershipChanged return means a peer died
+// mid-step and the caller should run recovery.
+func (s *server) runStep(step int, prevUpdated, updatedBuf []uint32, encOpts comm.Options) (st StepStats, updatedTotal int, newUpdated []uint32, overLimit bool, err error) {
+	n := s.node
+	st = StepStats{Superstep: step}
+	if k, ok := s.faults.killAt(n.ID(), step, KillAtStepStart); ok {
+		return st, 0, nil, false, s.die(k.Hang)
+	}
+	stepStart := time.Now()
+	// Wire accounting multiplies each batch by the live peer count; dead
+	// peers' frames are dropped at the transport and cost nothing.
+	livePeers := int64(n.AliveCount() - 1)
+
+	// Pipelined receive: decode foreign batches into per-sender scratch
+	// as they arrive, concurrently with local compute. Applying waits
+	// until compute finishes so every gather reads step-(k-1) values.
+	var recvErr chan error
+	if s.sender != nil && s.stepExpected() > 0 {
+		recvErr = make(chan error, 1)
+		// ctx rides in as an argument, not via the s.ctx field: on a
+		// hard error the loop can return without joining this
+		// goroutine, which then must not race runJob's per-job field
+		// teardown (the cluster abort or the membership interrupt is
+		// what unblocks and ends it).
+		go func(ctx context.Context) { recvErr <- s.receiveStep(ctx, step) }(s.ctx)
+	}
+
+	// Parallel tile processing on T workers (OpenMP pragma analog).
+	outs := s.outs
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < s.cfg.WorkersPerServer; w++ {
+		wg.Add(1)
+		go func(scr *workerScratch) {
+			defer wg.Done()
+			for k := range work {
+				outs[k] = s.processTile(k, step, prevUpdated, encOpts, scr)
+			}
+		}(s.scratch[w])
+	}
+	for k := range s.metas {
+		work <- k
+	}
+	close(work)
+	wg.Wait()
+
+	if k, ok := s.faults.killAt(n.ID(), step, KillMidStep); ok {
+		// Mid-step: this server's batches are enqueued or on the wire, but
+		// it will never finish receiving or reach the barrier. A pending
+		// receive goroutine unwinds via the membership interrupt the death
+		// provokes; it only touches this zombie's private scratch.
+		return st, 0, nil, false, s.die(k.Hang)
+	}
+
+	updatedTotal = 0
+	newUpdated = updatedBuf[:0]
+	overLimit = false
+	absorb := func(ups []comm.Update) {
+		for _, u := range ups {
+			s.state.set(u.ID, u.Value)
+		}
+		updatedTotal += len(ups)
+		if !overLimit {
+			for _, u := range ups {
+				newUpdated = append(newUpdated, u.ID)
+			}
+			if len(newUpdated) > s.cfg.BloomCheckLimit {
+				overLimit = true
+				newUpdated = newUpdated[:0] // keep the buffer for reuse
+			}
+		}
+	}
+
+	for k := range outs {
+		o := &outs[k]
+		if o.err != nil {
+			return st, 0, nil, false, o.err
+		}
+		if o.skipped {
+			st.SkippedTiles++
+		} else {
+			st.LoadedTiles++
+		}
+		if o.enc.Mode == comm.DenseMode {
+			st.DenseMsgs++
+		} else {
+			st.SparseMsgs++
+		}
+		// Wire bytes: each batch went to every live peer.
+		st.WireBytes += int64(o.enc.WireBytes) * livePeers
+		st.RawBytes += int64(o.enc.RawBytes) * livePeers
+		absorb(o.updates)
+	}
+
+	// The Broadcast leg of GAB, receiver side. Pipelined: the concurrent
+	// receive loop already decoded everything it could during compute;
+	// drain the send queues (flush-at-barrier), join it, and apply the
+	// staged updates in sender-rank order. Lockstep: receive and stage
+	// everything here, after compute, through the same counted protocol.
+	switch {
+	case recvErr != nil:
+		if err := s.sender.Flush(); err != nil {
+			return st, 0, nil, false, err
+		}
+		if err := <-recvErr; err != nil {
+			return st, 0, nil, false, err
+		}
+		for from := range s.staged {
+			absorb(s.staged[from])
+			s.staged[from] = s.staged[from][:0]
+		}
+	case n.NumNodes() > 1:
+		if s.sender != nil {
+			if err := s.sender.Flush(); err != nil {
+				return st, 0, nil, false, err
+			}
+		}
+		if err := s.receiveStep(nil, step); err != nil {
+			return st, 0, nil, false, err
+		}
+		for from := range s.staged {
+			absorb(s.staged[from])
+			s.staged[from] = s.staged[from][:0]
+		}
+	}
+
+	st.Updated = updatedTotal
+	st.Duration = time.Since(stepStart)
+
+	if k, ok := s.faults.killAt(n.ID(), step, KillAtBarrier); ok {
+		// This server absorbed the step but never votes; survivors detect
+		// it at the barrier (instantly for a crash, by timeout for a hang).
+		return st, 0, nil, false, s.die(k.Hang)
+	}
+
+	// First barrier: every server has absorbed every update batch of
+	// this step, so no update traffic is in flight afterwards. The same
+	// barrier carries the cancellation consensus — if any server's
+	// context is done, all servers abort here, at the same step edge,
+	// leaving the transport clean for the session's next job.
+	d, berr := n.BarrierVoteErr(s.ctx.Err() != nil)
+	if berr != nil {
+		return st, 0, nil, false, berr
+	}
+	if d {
+		if cerr := s.ctx.Err(); cerr != nil {
+			return st, 0, nil, false, jobCancelled{cause: cerr}
+		}
+		// The vote was forced by a broken barrier: a peer hit a hard
+		// error and the cluster is aborting underneath us.
+		return st, 0, nil, false, fmt.Errorf("core: server %d: superstep barrier: %w", n.ID(), cluster.ErrClosed)
+	}
+
+	// Checkpoint phase, inside the barrier bracket: the vote barrier
+	// above guarantees every server holds the identical fully-absorbed
+	// step-`step` vector (a consistent cut — no update traffic is in
+	// flight); the exit barrier below keeps anyone from starting step+1
+	// traffic while blobs are still being written. The gate is computed
+	// from per-job knobs and the globally-identical updatedTotal, so
+	// either every server checkpoints or none does. The final step is
+	// skipped: the job is about to end, there is nothing to resume into.
+	if s.ckptEvery > 0 && updatedTotal != 0 && step+1 < s.maxSteps && (step+1)%s.ckptEvery == 0 {
+		if err := s.writeCheckpoint(step, &st); err != nil {
+			return st, 0, nil, false, err
+		}
+		d, berr := n.BarrierVoteErr(false)
+		if berr != nil {
+			return st, 0, nil, false, berr
+		}
+		if d {
+			return st, 0, nil, false, fmt.Errorf("core: server %d: checkpoint barrier: %w", n.ID(), cluster.ErrClosed)
+		}
+	}
+
+	if updatedTotal != 0 && step+1 < s.maxSteps && s.rebal != nil {
+		// Rebalance phase, only when a next superstep will actually run
+		// (migrating after the last budgeted step would ship tiles no
+		// one processes). The gate (rebal non-nil, the step budget, and
+		// updatedTotal — which is identical on every server) is
+		// evaluated identically everywhere, so either all servers enter
+		// the phase or none do.
+		if err := s.rebalanceStep(step, &st); err != nil {
+			return st, 0, nil, false, err
+		}
+		// Second barrier: no server starts the next superstep (and its
+		// update traffic) while tiles are still moving.
+		n.Barrier()
+	}
+	return st, updatedTotal, newUpdated, overLimit, nil
+}
+
+// Update batches travel framed as [stepFrameMagic][step mod 256][comm
+// payload]. The magic (distinct from comm's raw 0xB7, rebalance's
+// 0xC1–0xC3 and the recovery marker's 0xC9) classifies the frame; the step
+// byte pins it to its superstep, so stale traffic is discarded instead of
+// absorbed with wrong-step values. Stale frames arise two ways: a
+// duplicated frame (scripted WireDuplicate) riding its FIFO link right
+// behind the original can cross one step boundary, and a crashed server's
+// in-flight frames for the interrupted step can outlive recovery (nothing
+// forces their drain — the dead server sends no recovery marker). The step
+// byte disambiguates both as long as a replayed step is never 256 steps
+// away from the frame's origin, which CheckpointEvery < 256 guarantees.
+const stepFrameMagic = 0xB8
+
+// appendStepHeader starts an update-batch frame for the given superstep.
+func appendStepHeader(dst []byte, step int) []byte {
+	return append(dst, stepFrameMagic, byte(step))
+}
+
+// stepExpected returns how many foreign update batches this step's counted
+// receive expects: one per tile owned by a live peer.
+func (s *server) stepExpected() int {
+	me := s.node.ID()
+	exp := 0
+	for p, cnt := range s.ownedCnt {
+		if p != me && s.node.Alive(p) {
+			exp += cnt
+		}
+	}
+	return exp
 }
 
 // adaptSendQueue resizes the pipelined sender's per-destination queues from
@@ -816,29 +1033,85 @@ type tileOut struct {
 	err     error
 }
 
-// receiveForeign is the pipelined receive loop: it runs on its own
-// goroutine concurrently with tile compute, decoding each foreign batch the
-// moment it arrives and staging its updates per sender rank. Only this
-// goroutine touches recvBatch and staged until the superstep loop joins it.
+// receiveStep is the counted receive of one superstep: it consumes frames
+// until one distinct batch per live-peer-owned tile has arrived, decoding
+// each the moment it lands and staging its updates per sender rank. In
+// pipelined mode it runs on its own goroutine concurrently with tile
+// compute; in lockstep mode it runs inline after compute. Only one receive
+// runs at a time, so recvBatch and staged are single-writer.
 //
-// The receive is context-aware: a cancelled job stops decoding and staging
-// immediately. The remaining batches of the step are still drained —
-// cancellation is only acted on at the step edge, so every peer completes
-// its sends and the counted protocol must consume them to leave the
-// transport clean for the session's next job — but their contents are
-// discarded, since the vote barrier is now guaranteed to abort the job.
-func (s *server) receiveForeign(ctx context.Context, expected int) error {
-	received := 0
-	err := s.node.RecvStreamCtx(ctx, expected, func(from int, msg []byte) error {
-		received++
-		if _, err := comm.DecodeInto(&s.recvBatch, msg); err != nil {
-			return fmt.Errorf("core: server %d decoding update batch: %w", s.node.ID(), err)
+// The count is per distinct tile, not per frame: a seen-tile bitset drops
+// duplicated frames (scripted WireDuplicate, future retransmits), and stray
+// recovery markers from an earlier failure are discarded by magic byte.
+// When the stream stalls past the cluster's FailureTimeout, whichever live
+// peers still owe batches are declared dead and the step fails with
+// cluster.ErrMembershipChanged — the signal the superstep loop turns into
+// recovery. A peer whose frame was dropped by the wire is indistinguishable
+// from a dead one; the false accusation fences it, which is the designed
+// fail-stop semantic.
+//
+// The receive is context-aware: a cancelled job stops staging immediately.
+// The remaining batches of the step are still drained — cancellation is
+// only acted on at the step edge, so every peer completes its sends and the
+// counted protocol must consume them to leave the transport clean for the
+// session's next job — but their contents are discarded, since the vote
+// barrier is now guaranteed to abort the job.
+func (s *server) receiveStep(ctx context.Context, step int) error {
+	me := s.node.ID()
+	need := 0
+	for p, cnt := range s.ownedCnt {
+		s.recvdFrom[p] = 0
+		if p != me && s.node.Alive(p) {
+			need += cnt
 		}
-		s.staged[from] = append(s.staged[from], s.recvBatch.Updates...)
+	}
+	if need == 0 {
 		return nil
-	})
-	if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
-		return s.node.RecvStream(expected-received, func(int, []byte) error { return nil })
+	}
+	for i := range s.seenTiles {
+		s.seenTiles[i] = 0
+	}
+	discard := false
+	handle := func(from int, msg []byte) (bool, error) {
+		if len(msg) < 2 || msg[0] != stepFrameMagic || msg[1] != byte(step) {
+			if len(msg) > 0 && (msg[0] == stepFrameMagic || msg[0] == markerMagic) {
+				// Another step's frame (a leaked duplicate, or a dead
+				// server's in-flight traffic outliving recovery) or a stray
+				// recovery marker: stale, discard.
+				return false, nil
+			}
+			return false, fmt.Errorf("core: server %d received non-batch frame (%d bytes) mid-step", me, len(msg))
+		}
+		if _, err := comm.DecodeInto(&s.recvBatch, msg[2:]); err != nil {
+			return false, fmt.Errorf("core: server %d decoding update batch: %w", me, err)
+		}
+		t := int(s.recvBatch.TileID)
+		if t >= s.total {
+			return false, fmt.Errorf("core: server %d received update batch for unknown tile %d", me, t)
+		}
+		if s.seenTiles[t>>6]&(1<<uint(t&63)) != 0 {
+			return false, nil // duplicated frame
+		}
+		s.seenTiles[t>>6] |= 1 << uint(t&63)
+		s.recvdFrom[from]++
+		if !discard {
+			s.staged[from] = append(s.staged[from], s.recvBatch.Updates...)
+		}
+		need--
+		return need == 0, nil
+	}
+	err := s.node.RecvStreamWhile(ctx, handle)
+	if err != nil && ctx != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		discard = true
+		err = s.node.RecvStreamWhile(nil, handle)
+	}
+	if err != nil && errors.Is(err, cluster.ErrRecvStall) {
+		for p, cnt := range s.ownedCnt {
+			if p != me && s.node.Alive(p) && s.recvdFrom[p] < cnt {
+				s.node.DeclareDead(p)
+			}
+		}
+		return cluster.ErrMembershipChanged
 	}
 	return err
 }
@@ -913,7 +1186,7 @@ func (s *server) processTile(k, step int, prevUpdated []uint32, encOpts comm.Opt
 		// buffer transfers to the sender, which recycles it after the last
 		// destination's write.
 		wb := s.sender.Acquire()
-		msg, enc, err := comm.AppendEncode(wb.Data[:0], &scr.batch, encOpts)
+		msg, enc, err := comm.AppendEncode(appendStepHeader(wb.Data[:0], step), &scr.batch, encOpts)
 		if err != nil {
 			s.sender.Release(wb)
 			out.err = err
@@ -926,7 +1199,7 @@ func (s *server) processTile(k, step int, prevUpdated []uint32, encOpts comm.Opt
 		}
 		return out
 	}
-	msg, enc, err := comm.AppendEncode(scr.wire[:0], &scr.batch, encOpts)
+	msg, enc, err := comm.AppendEncode(appendStepHeader(scr.wire[:0], step), &scr.batch, encOpts)
 	if err != nil {
 		out.err = err
 		return out
@@ -946,17 +1219,33 @@ func (s *server) processTile(k, step int, prevUpdated []uint32, encOpts comm.Opt
 	return out
 }
 
-// collectResult assembles the final value vector on server 0. Under
-// All-in-All, server 0 already has every replica; under On-Demand each
-// server owns the target ranges of its tiles and ships them to rank 0.
+// collectResult assembles the final value vector on the coordinator. Under
+// All-in-All every live server already has every replica, so the lowest
+// live rank copies its own — the role fails over when rank 0 died mid-job.
+// Under On-Demand each server owns the target ranges of its tiles and ships
+// them to rank 0 (On-Demand jobs cannot lose servers: recovery requires
+// All-in-All).
 func (s *server) collectResult() error {
 	n := s.node
 	if s.cfg.Replication == AllInAll {
-		if n.ID() == 0 {
-			copy(s.result.Values, s.state.values)
+		for {
+			if n.ID() == s.coordRank() {
+				copy(s.result.Values, s.state.values)
+			}
+			err := n.BarrierErr()
+			if err == nil {
+				return nil
+			}
+			if !errors.Is(err, cluster.ErrMembershipChanged) {
+				return err
+			}
+			// A lingering declaration landed between the last superstep and
+			// here (a hang victim detected late, say). No step state is at
+			// risk any more — re-acknowledge, re-elect, re-copy.
+			if _, alive := n.AckMembership(); !alive[n.ID()] {
+				return s.die(true)
+			}
 		}
-		n.Barrier()
-		return nil
 	}
 	// On-Demand: exchange target-range values. The sends ride the pipelined
 	// Sender when one is running, so encoding the next range overlaps the
@@ -1060,6 +1349,11 @@ func (s *server) fillServerStats() {
 	st.BytesRecv = m.BytesRecv
 	st.SendStalls = m.SendStalls
 	st.SendQueueHighWater = m.QueueHighWater
+	st.Checkpoints = s.ckptCount
+	st.CheckpointBytes = s.ckptBytes
+	st.TilesAdopted = s.tilesAdopted
+	st.Recoveries = s.recoveries
+	st.RecoveryTime = s.recoveryTime
 }
 
 // mergeSteps folds the per-server step stats into cluster-wide rows: sums
@@ -1075,11 +1369,13 @@ func mergeSteps(res *Result, byServer [][]StepStats) {
 	for i := range res.Steps {
 		res.Steps[i].Superstep = i
 	}
-	for sv, ss := range byServer {
+	for _, ss := range byServer {
 		for i, st := range ss {
 			dst := &res.Steps[i]
-			if sv == 0 {
-				dst.Updated = st.Updated // identical on every server
+			if st.Updated > dst.Updated {
+				// Identical on every live server; max (not "server 0's")
+				// because a dead server reports no steps at all.
+				dst.Updated = st.Updated
 			}
 			dst.WireBytes += st.WireBytes
 			dst.RawBytes += st.RawBytes
@@ -1094,6 +1390,9 @@ func mergeSteps(res *Result, byServer [][]StepStats) {
 			}
 			if st.Rebalance > dst.Rebalance {
 				dst.Rebalance = st.Rebalance
+			}
+			if st.Checkpoint > dst.Checkpoint {
+				dst.Checkpoint = st.Checkpoint
 			}
 		}
 	}

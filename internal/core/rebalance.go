@@ -253,6 +253,11 @@ func (s *server) recvRebalanceMsg(want byte) (from int, payload []byte, err erro
 		if err != nil {
 			return 0, nil, err
 		}
+		if len(p) > 0 && p[0] == stepFrameMagic {
+			// A duplicated update frame that leaked across the step
+			// boundary (scripted WireDuplicate); stale, skip it.
+			continue
+		}
 		kind, err := rebalanceKind(p)
 		if err != nil {
 			return 0, nil, fmt.Errorf("core: server %d mid-rebalance: %w", s.node.ID(), err)
@@ -416,6 +421,15 @@ func (s *server) rebalanceStep(step int, st *StepStats) error {
 			mv.To < 0 || mv.To >= n.NumNodes() || mv.From == mv.To {
 			return fmt.Errorf("core: server %d got invalid move %+v", n.ID(), mv)
 		}
+		// Every server applies every move to its ownership tables — the
+		// counted receive protocol needs each peer's tile count, not just
+		// this server's own donations and adoptions. The rebalancer only
+		// runs with the full membership alive and checkpointing off, so the
+		// base and current tables move together.
+		s.ownedCnt[mv.From]--
+		s.ownedCnt[mv.To]++
+		s.baseOwner[mv.Tile] = mv.To
+		s.curOwner[mv.Tile] = mv.To
 		switch n.ID() {
 		case mv.From:
 			k := s.metaIndex(mv.Tile)

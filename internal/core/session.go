@@ -23,6 +23,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -59,7 +60,27 @@ type JobOptions struct {
 	// waiting on the job this callback runs in). Cancelling the job's
 	// context from it is the supported way to stop a run.
 	Progress func(StepStats)
+	// CheckpointEvery overrides the session Config's checkpoint interval
+	// for this job: 0 inherits, a negative value turns checkpointing off
+	// for this job, a positive value checkpoints every that-many
+	// supersteps. Requires All-in-All replication, like the Config knob.
+	CheckpointEvery int
 }
+
+// ErrSessionDead marks every Submit that fails fast because an earlier
+// job's hard error killed the session. errors.Is(err, ErrSessionDead)
+// distinguishes "this session is gone" from the original failure, which
+// the wrapped error chain still carries.
+var ErrSessionDead = errors.New("core: session is dead")
+
+// sessionDeadError is the fail-fast error later Submits return: it matches
+// both ErrSessionDead and the root cause under errors.Is/As.
+type sessionDeadError struct{ cause error }
+
+func (e *sessionDeadError) Error() string {
+	return "core: session aborted by earlier error: " + e.cause.Error()
+}
+func (e *sessionDeadError) Unwrap() []error { return []error{ErrSessionDead, e.cause} }
 
 // jobCancelled wraps a context cancellation so the session can tell an
 // aborted-by-caller job (session stays healthy) from a hard engine error
@@ -71,12 +92,13 @@ func (e jobCancelled) Unwrap() error { return e.cause }
 
 // job is one Submit travelling through the per-server job loops.
 type job struct {
-	prog     Program
-	ctx      context.Context
-	maxSteps int
-	lockstep bool
-	codec    compress.Mode
-	progress func(StepStats)
+	prog      Program
+	ctx       context.Context
+	maxSteps  int
+	lockstep  bool
+	codec     compress.Mode
+	progress  func(StepStats)
+	ckptEvery int
 
 	res     *Result
 	steps   [][]StepStats
@@ -115,6 +137,9 @@ type Session struct {
 // once. The returned session must be Closed.
 func Open(in Input, cfg Config) (*Session, error) {
 	cfg = cfg.normalized()
+	if cfg.CheckpointEvery > 0 && cfg.Replication != AllInAll {
+		return nil, fmt.Errorf("core: CheckpointEvery requires All-in-All replication (recovery restores each survivor from its own full-vector checkpoint)")
+	}
 	g, numTiles, fetch, err := prepareInput(in)
 	if err != nil {
 		return nil, err
@@ -146,15 +171,36 @@ func Open(in Input, cfg Config) (*Session, error) {
 	}
 
 	cl, err := cluster.New(cluster.Config{
-		NumNodes:     cfg.NumServers,
-		Transport:    cfg.Transport,
-		NetBandwidth: cfg.NetBandwidth,
+		NumNodes:       cfg.NumServers,
+		Transport:      cfg.Transport,
+		NetBandwidth:   cfg.NetBandwidth,
+		FailureTimeout: cfg.FailureTimeout,
 	})
 	if err != nil {
 		if ownWork {
 			os.RemoveAll(workDir)
 		}
 		return nil, err
+	}
+
+	// Compile the fault plan once per session; its kill coordinates feed the
+	// engine's kill points, its disk faults chain in front of the user's
+	// DiskFailureHook, and its wire faults install as the cluster wire hook —
+	// identical behaviour on the Inproc and TCP transports.
+	faults := compileFaults(cfg.Faults)
+	cfg.DiskFailureHook = faults.diskHook(cfg.DiskFailureHook)
+	if wh := faults.wireHook(); wh != nil {
+		cl.SetWireHook(wh)
+	}
+
+	// The base tile→server ownership table, as assigned. Recovery's pure
+	// reassignment function and the counted receive protocol both read it;
+	// each server gets a private copy because the rebalancer mutates it.
+	owner := make([]int, numTiles)
+	for j, tiles := range assign.TilesOf {
+		for _, t := range tiles {
+			owner[t] = j
+		}
 	}
 
 	se := &Session{
@@ -186,13 +232,16 @@ func Open(in Input, cfg Config) (*Session, error) {
 	go func() {
 		se.runDone <- cl.Run(func(n *cluster.Node) error {
 			sv := &server{
-				cfg:   cfg,
-				node:  n,
-				graph: g,
-				fetch: fetchBox.fn,
-				tiles: assign.TilesOf[n.ID()],
-				total: numTiles,
-				work:  filepath.Join(workDir, fmt.Sprintf("server-%d", n.ID())),
+				cfg:       cfg,
+				node:      n,
+				graph:     g,
+				fetch:     fetchBox.fn,
+				tiles:     assign.TilesOf[n.ID()],
+				total:     numTiles,
+				work:      filepath.Join(workDir, fmt.Sprintf("server-%d", n.ID())),
+				workRoot:  workDir,
+				baseOwner: append([]int(nil), owner...),
+				faults:    faults,
 			}
 			defer func() {
 				if sv.store != nil {
@@ -273,7 +322,7 @@ func (se *Session) Submit(ctx context.Context, prog Program, opts JobOptions) (*
 		return nil, fmt.Errorf("core: Submit on closed session")
 	}
 	if se.dead != nil {
-		return nil, fmt.Errorf("core: session aborted by earlier error: %w", se.dead)
+		return nil, &sessionDeadError{cause: se.dead}
 	}
 	if err := ctx.Err(); err != nil {
 		// Fail fast instead of running one full superstep only for the
@@ -290,13 +339,27 @@ func (se *Session) Submit(ctx context.Context, prog Program, opts JobOptions) (*
 	if opts.MsgCodec != nil {
 		codec = *opts.MsgCodec
 	}
+	ckptEvery := se.cfg.CheckpointEvery
+	switch {
+	case opts.CheckpointEvery > 0:
+		ckptEvery = opts.CheckpointEvery
+	case opts.CheckpointEvery < 0:
+		ckptEvery = 0
+	}
+	if ckptEvery > 255 {
+		ckptEvery = 255 // same stale-frame cap as Config.CheckpointEvery
+	}
+	if ckptEvery > 0 && se.cfg.Replication != AllInAll {
+		return nil, fmt.Errorf("core: CheckpointEvery requires All-in-All replication (recovery restores each survivor from its own full-vector checkpoint)")
+	}
 	jb := &job{
-		prog:     prog,
-		ctx:      ctx,
-		maxSteps: maxSteps,
-		lockstep: se.cfg.Lockstep || opts.Lockstep,
-		codec:    codec,
-		progress: opts.Progress,
+		prog:      prog,
+		ctx:       ctx,
+		maxSteps:  maxSteps,
+		lockstep:  se.cfg.Lockstep || opts.Lockstep,
+		codec:     codec,
+		progress:  opts.Progress,
+		ckptEvery: ckptEvery,
 		res: &Result{
 			Values:  make([]float64, se.graph.NumVertices),
 			Servers: make([]ServerStats, se.cfg.NumServers),
@@ -320,10 +383,24 @@ func (se *Session) Submit(ctx context.Context, prog Program, opts JobOptions) (*
 			return nil, cerr
 		}
 	}
+	var deadServers []int
+	for i := 0; i < se.cfg.NumServers; i++ {
+		if !se.cl.Alive(i) {
+			deadServers = append(deadServers, i)
+		}
+	}
+	if len(deadServers) == se.cfg.NumServers {
+		// Every server died (scripted kills can do that). There is no
+		// survivor to have filled the result, and no membership left to run
+		// another job on.
+		se.dead = fmt.Errorf("core: all %d servers died during the job", se.cfg.NumServers)
+		return nil, se.dead
+	}
 
 	res := jb.res
 	res.SetupDuration = se.setupDur
 	res.Duration = time.Duration(jb.loopMax)
+	res.DeadServers = deadServers
 	mergeSteps(res, jb.steps)
 	res.Supersteps = len(res.Steps)
 	res.Converged = res.Supersteps > 0 && res.Steps[res.Supersteps-1].Updated == 0

@@ -37,6 +37,9 @@ type StepStats struct {
 	// step's boundary (max over servers; zero when the rebalancer is off
 	// or the step converged).
 	Rebalance time.Duration
+	// Checkpoint is the wall-clock time of the checkpoint phase at this
+	// step's boundary (max over servers; zero on non-checkpoint steps).
+	Checkpoint time.Duration
 }
 
 // ServerStats records one server's behaviour. The I/O and traffic
@@ -81,6 +84,16 @@ type ServerStats struct {
 	// onto and off this server mid-run.
 	TilesMigratedIn  int
 	TilesMigratedOut int
+	// Checkpoints counts the checkpoints this server wrote during the job;
+	// CheckpointBytes is their encoded volume.
+	Checkpoints     int
+	CheckpointBytes int64
+	// TilesAdopted counts dead peers' tiles this server took over during
+	// recovery; Recoveries counts recovery rounds it completed; RecoveryTime
+	// is the wall-clock total those rounds took (restore + replay excluded).
+	TilesAdopted int
+	Recoveries   int
+	RecoveryTime time.Duration
 }
 
 // Result is the outcome of one engine run.
@@ -102,6 +115,10 @@ type Result struct {
 	Duration time.Duration
 	// SetupDuration covers tile fetch + state initialization.
 	SetupDuration time.Duration
+	// DeadServers lists the ranks that died during (or before) this job —
+	// scripted kills or fenced false accusations. Empty on a healthy run.
+	// A dead server's ServerStats entry is zero-valued.
+	DeadServers []int
 }
 
 // TotalWireBytes sums network traffic over all supersteps.

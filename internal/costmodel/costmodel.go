@@ -8,6 +8,7 @@ package costmodel
 
 import (
 	"math"
+	"time"
 )
 
 // GraphParams describes a graph for analytic evaluation. Paper-scale values
@@ -384,6 +385,43 @@ func AdaptQueueCap(cur int, stallsDelta, highWater int64, quietSteps int) int {
 		return cur / 2
 	}
 	return cur
+}
+
+// Checkpoint-interval cost model. Checkpointing every superstep minimizes
+// lost work after a crash but maximizes overhead; never checkpointing does
+// the reverse. Young's classic first-order approximation balances the two:
+// the optimal interval between checkpoints is τ = sqrt(2·C·MTBF), where C
+// is the cost of taking one checkpoint and MTBF the mean time between
+// failures. The engine takes the interval in supersteps (it must be
+// identical on every server for the cut to be consistent), so the advisory
+// helper below converts τ to a step count using the measured per-superstep
+// cost.
+
+// YoungInterval returns Young's optimal wall-clock interval between
+// checkpoints, sqrt(2·C·MTBF), for a checkpoint cost C and mean time
+// between failures MTBF. Non-positive inputs yield 0 (checkpointing
+// disabled — with no failures expected, any checkpoint is pure overhead).
+func YoungInterval(checkpointCost, mtbf time.Duration) time.Duration {
+	if checkpointCost <= 0 || mtbf <= 0 {
+		return 0
+	}
+	return time.Duration(math.Sqrt(2 * float64(checkpointCost) * float64(mtbf)))
+}
+
+// CheckpointEverySteps converts Young's interval to a superstep count for a
+// job whose supersteps cost stepCost each: round(τ/stepCost), at least 1.
+// Returns 0 when checkpointing should be disabled (no failure model or
+// nothing measurable to amortize).
+func CheckpointEverySteps(stepCost, checkpointCost, mtbf time.Duration) int {
+	tau := YoungInterval(checkpointCost, mtbf)
+	if tau == 0 || stepCost <= 0 {
+		return 0
+	}
+	k := int(math.Round(float64(tau) / float64(stepCost)))
+	if k < 1 {
+		k = 1
+	}
+	return k
 }
 
 // MeasuredMultiplier reproduces Figure 1(a)'s framework-overhead systems

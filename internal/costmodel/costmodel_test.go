@@ -3,6 +3,7 @@ package costmodel
 import (
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -307,5 +308,49 @@ func TestPlanRebalanceTieBreaksOnBytes(t *testing.T) {
 	}
 	if moves[0].Tile != 1 {
 		t.Fatalf("first move ships tile %d, want the 10-byte tile 1", moves[0].Tile)
+	}
+}
+
+func TestYoungInterval(t *testing.T) {
+	// Young's formula: τ = sqrt(2·C·MTBF). With C = 2s and MTBF = 1h the
+	// optimal interval is sqrt(2·2·3600) s = 120s.
+	tau := YoungInterval(2*time.Second, time.Hour)
+	want := 120 * time.Second
+	if diff := tau - want; diff < -time.Second || diff > time.Second {
+		t.Fatalf("YoungInterval(2s, 1h) = %v, want ≈%v", tau, want)
+	}
+	// τ grows with both inputs.
+	if YoungInterval(8*time.Second, time.Hour) <= tau {
+		t.Fatal("τ must grow with checkpoint cost")
+	}
+	if YoungInterval(2*time.Second, 4*time.Hour) <= tau {
+		t.Fatal("τ must grow with MTBF")
+	}
+	// No failure model or free checkpoints → checkpointing disabled.
+	for _, tc := range [][2]time.Duration{{0, time.Hour}, {time.Second, 0}, {-1, time.Hour}, {time.Second, -1}} {
+		if got := YoungInterval(tc[0], tc[1]); got != 0 {
+			t.Fatalf("YoungInterval(%v, %v) = %v, want 0", tc[0], tc[1], got)
+		}
+	}
+}
+
+func TestCheckpointEverySteps(t *testing.T) {
+	// τ = 120s (from the case above); 50s supersteps → round(2.4) = 2.
+	if k := CheckpointEverySteps(50*time.Second, 2*time.Second, time.Hour); k != 2 {
+		t.Fatalf("CheckpointEverySteps(50s, 2s, 1h) = %d, want 2", k)
+	}
+	// Supersteps longer than τ still checkpoint every step, never 0.
+	if k := CheckpointEverySteps(10*time.Minute, 2*time.Second, time.Hour); k != 1 {
+		t.Fatalf("long steps must clamp to every-step checkpointing, got %d", k)
+	}
+	// Disabled when the failure model or the step cost is degenerate.
+	if k := CheckpointEverySteps(0, 2*time.Second, time.Hour); k != 0 {
+		t.Fatalf("zero step cost must disable, got %d", k)
+	}
+	if k := CheckpointEverySteps(50*time.Second, 0, time.Hour); k != 0 {
+		t.Fatalf("free checkpoints must disable, got %d", k)
+	}
+	if k := CheckpointEverySteps(50*time.Second, 2*time.Second, 0); k != 0 {
+		t.Fatalf("no failure model must disable, got %d", k)
 	}
 }

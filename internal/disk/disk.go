@@ -160,7 +160,9 @@ func (s *Store) openRead(name string) (cf *cachedFile, transient bool, err error
 func (s *Store) Dir() string { return s.dir }
 
 // SetFailureHook installs (or clears, with nil) a failure-injection hook
-// called with ("read"|"write"|"remove", name) before each operation.
+// called with the operation name ("read", "write", "remove", "exists",
+// "list") before each exported operation. Every exported op consults the
+// hook, so a fault plan can fail any disk interaction deterministically.
 func (s *Store) SetFailureHook(hook func(op, name string) error) {
 	if hook == nil {
 		s.failHook.Store((func(op, name string) error)(nil))
@@ -227,6 +229,39 @@ func (s *Store) Write(name string, data []byte) error {
 	return nil
 }
 
+// WriteAtomic stores data under name with all-or-nothing visibility: the
+// bytes go to a temporary file in the same directory which is then renamed
+// over the destination. A crash mid-write leaves either the old blob or the
+// new one, never a torn mix — the property checkpoint blobs need so that a
+// failure during checkpointing cannot destroy the previous checkpoint.
+func (s *Store) WriteAtomic(name string, data []byte) error {
+	if err := s.checkFail("write", name); err != nil {
+		return err
+	}
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(p); dir != s.dir {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("disk: mkdir for %q: %w", name, err)
+		}
+	}
+	s.invalidate(name)
+	s.throttle(len(data), s.cfg.WriteBandwidth)
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("disk: writing %q: %w", name, err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("disk: committing %q: %w", name, err)
+	}
+	s.writeBytes.Add(int64(len(data)))
+	s.writeOps.Add(1)
+	return nil
+}
+
 // Read returns the blob stored under name.
 func (s *Store) Read(name string) ([]byte, error) {
 	return s.ReadInto(name, nil)
@@ -280,8 +315,12 @@ func (s *Store) Remove(name string) error {
 	return nil
 }
 
-// Exists reports whether a blob is present.
+// Exists reports whether a blob is present. An injected "exists" failure
+// reports absence — the conservative answer a flaky device gives.
 func (s *Store) Exists(name string) bool {
+	if err := s.checkFail("exists", name); err != nil {
+		return false
+	}
 	p, err := s.path(name)
 	if err != nil {
 		return false
@@ -292,6 +331,9 @@ func (s *Store) Exists(name string) bool {
 
 // List returns the names of all blobs with the given prefix, sorted.
 func (s *Store) List(prefix string) ([]string, error) {
+	if err := s.checkFail("list", prefix); err != nil {
+		return nil, err
+	}
 	var names []string
 	err := filepath.Walk(s.dir, func(path string, info os.FileInfo, err error) error {
 		if err != nil || info.IsDir() {

@@ -178,3 +178,75 @@ func TestFailureInjection(t *testing.T) {
 		t.Fatalf("hook not cleared: %v", err)
 	}
 }
+
+// TestFailureInjectionCoversEveryOp verifies each of the five exported
+// store operations consults the failure hook with its own op tag — the
+// fault-injection harness scripts faults per operation, so a store op that
+// bypassed the hook would be untestable.
+func TestFailureInjectionCoversEveryOp(t *testing.T) {
+	s := newTestStore(t, Config{})
+	if err := s.Write("seed", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected I/O error")
+	var failOp string
+	var calls []string
+	s.SetFailureHook(func(op, name string) error {
+		calls = append(calls, op)
+		if op == failOp {
+			return boom
+		}
+		return nil
+	})
+
+	failOp = "write"
+	if err := s.Write("w", []byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("Write ignored the hook: %v", err)
+	}
+	if err := s.WriteAtomic("w", []byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("WriteAtomic ignored the hook: %v", err)
+	}
+	if s.Exists("w") {
+		t.Fatal("failed writes left a blob behind")
+	}
+
+	failOp = "read"
+	if _, err := s.Read("seed"); !errors.Is(err, boom) {
+		t.Fatalf("Read ignored the hook: %v", err)
+	}
+	if _, err := s.ReadInto("seed", nil); !errors.Is(err, boom) {
+		t.Fatalf("ReadInto ignored the hook: %v", err)
+	}
+
+	failOp = "remove"
+	if err := s.Remove("seed"); !errors.Is(err, boom) {
+		t.Fatalf("Remove ignored the hook: %v", err)
+	}
+	failOp = "exists"
+	if s.Exists("seed") {
+		t.Fatal("Exists ignored the hook (blob still on disk must report false under a fault)")
+	}
+	failOp = "list"
+	if _, err := s.List(""); !errors.Is(err, boom) {
+		t.Fatalf("List ignored the hook: %v", err)
+	}
+
+	// The blob survived the faulted remove and is visible once the hook is
+	// lifted — the hook fails operations, it does not corrupt state.
+	s.SetFailureHook(nil)
+	if !s.Exists("seed") {
+		t.Fatal("faulted Remove actually removed the blob")
+	}
+	for _, want := range []string{"write", "read", "remove", "exists", "list"} {
+		found := false
+		for _, op := range calls {
+			if op == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("hook never saw op %q (saw %v)", want, calls)
+		}
+	}
+}

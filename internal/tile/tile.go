@@ -278,6 +278,38 @@ func (a *Assignment) Validate(numTiles int) error {
 	return nil
 }
 
+// ReassignDead maps each tile to a live server given the tile→server base
+// ownership table and the cluster's alive set: tiles of live servers stay
+// put, and each dead server's tiles are dealt round-robin across the live
+// ranks in ascending tile order. The function is deterministic and pure —
+// recovery runs it independently on every survivor and all of them must
+// derive the identical placement from the same (owner, alive) inputs.
+func ReassignDead(owner []int, alive []bool) ([]int, error) {
+	var live []int
+	for s, ok := range alive {
+		if ok {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		return nil, fmt.Errorf("tile: no live servers to reassign onto")
+	}
+	out := make([]int, len(owner))
+	next := 0
+	for t, s := range owner {
+		if s < 0 || s >= len(alive) {
+			return nil, fmt.Errorf("tile: tile %d owned by out-of-range server %d", t, s)
+		}
+		if alive[s] {
+			out[t] = s
+			continue
+		}
+		out[t] = live[next%len(live)]
+		next++
+	}
+	return out, nil
+}
+
 // ServerOf returns the server that owns tile i in this assignment.
 func (a *Assignment) ServerOf(i int) int {
 	for j, tiles := range a.TilesOf {

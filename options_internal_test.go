@@ -7,6 +7,7 @@ package graphh
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cluster"
@@ -19,6 +20,7 @@ func TestEngineConfigMapsEveryKnob(t *testing.T) {
 	zlib1 := CodecZlib1
 	snappy := CodecSnappy
 	lru := CacheLRU
+	plan := &FaultPlan{Kills: []Kill{{Server: 1, Step: 2, Point: KillMidStep}}}
 	full := Options{
 		Servers:             4,
 		Workers:             3,
@@ -37,6 +39,9 @@ func TestEngineConfigMapsEveryKnob(t *testing.T) {
 		SendQueueCap:        11,
 		DisableRebalance:    true,
 		RebalanceRatio:      1.7,
+		CheckpointEvery:     4,
+		FailureTimeout:      1500 * time.Millisecond,
+		Faults:              plan,
 		WorkDir:             "/tmp/graphh-knobs",
 	}
 	cfg, err := full.engineConfig()
@@ -66,6 +71,9 @@ func TestEngineConfigMapsEveryKnob(t *testing.T) {
 		{"SendQueueCap", cfg.SendQueueCap, 11},
 		{"Rebalance", cfg.Rebalance, core.RebalanceOff},
 		{"RebalanceRatio", cfg.RebalanceRatio, 1.7},
+		{"CheckpointEvery", cfg.CheckpointEvery, 4},
+		{"FailureTimeout", cfg.FailureTimeout, 1500 * time.Millisecond},
+		{"Faults", cfg.Faults, plan},
 		{"WorkDir", cfg.WorkDir, "/tmp/graphh-knobs"},
 	}
 	for _, c := range checks {
