@@ -21,11 +21,12 @@ test:
 # ci is the tier-1 verify: everything must build, vet clean and pass.
 ci: build vet test
 
-# race runs the cluster and core suites — the packages with real
-# cross-goroutine traffic (pipelined sender, receive loop, worker pools) —
-# under the race detector.
+# race runs the cluster, core and disk suites — the packages with real
+# cross-goroutine traffic (pipelined sender, receive loop, worker pools,
+# the sweep-ahead prefetcher and the async batched reader) — under the
+# race detector.
 race:
-	$(GO) test -race -count=1 ./internal/cluster/ ./internal/core/
+	$(GO) test -race -count=1 ./internal/cluster/ ./internal/core/ ./internal/disk/ ./internal/cache/
 
 # check is the default gate: tier-1 plus race, the chaos suite, a short
 # fuzz budget, the documentation and API gates and the perf smoke pass.
@@ -43,12 +44,14 @@ chaos:
 
 # bench-smoke is the fast perf sanity pass: the skewed-partition
 # rebalancing experiment at a tiny scale (exercises migration end to end
-# and checks bit-identical results) plus the allocation guards on the
-# pipelined send and receive paths.
+# and checks bit-identical results), the smallest point of the out-of-core
+# sweep (prefetch off vs on at a 25% cache budget), plus the allocation
+# guards on the pipelined send, receive and prefetch-hit paths.
 bench-smoke:
 	GRAPHH_BENCH_SCALE=0.05 $(GO) run ./cmd/graphh-bench -exp skew -supersteps 8
+	GRAPHH_BENCH_SCALE=0.05 GRAPHH_OOC_BUDGETS=25 $(GO) run ./cmd/graphh-bench -exp ooc -supersteps 6
 	$(GO) test ./internal/cluster/ -run TestRecvSteadyStateAllocs -count=1
-	$(GO) test ./internal/core/ -run TestProcessTileSteadyStateAllocs -count=1
+	$(GO) test ./internal/core/ -run 'TestProcessTileSteadyStateAllocs|TestPrefetchSteadyStateAllocs' -count=1
 	$(GO) test ./internal/core/ -run xxx -bench BenchmarkRecovery4Servers -benchtime 1x -count=1
 
 # api-check surfaces accidental public-API breaks: the root package's
@@ -99,3 +102,4 @@ fuzz-ci:
 	$(GO) test ./internal/csr/ -run xxx -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/comm/ -run xxx -fuzz FuzzDecodeInto -fuzztime 10s
 	$(GO) test ./internal/core/ -run xxx -fuzz FuzzDecodeRebalance -fuzztime 10s
+	$(GO) test ./internal/disk/ -run xxx -fuzz FuzzDecodeBatchFrame -fuzztime 10s

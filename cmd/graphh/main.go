@@ -46,7 +46,10 @@ func main() {
 		symmetrize = flag.Bool("symmetrize", false, "add reverse edges before running (needed by wcc)")
 		top        = flag.Int("top", 10, "print the top-K vertices by value")
 		diskBW     = flag.Int64("disk-bw", 0, "disk bandwidth model, bytes/s (0 = unthrottled)")
+		diskLat    = flag.Duration("disk-latency", 0, "disk per-read-op latency model, e.g. 2ms (0 = pure bandwidth)")
 		netBW      = flag.Int64("net-bw", 0, "network bandwidth model, bytes/s (0 = unlimited)")
+		prefetch   = flag.Int("prefetch-depth", 0, "sweep-ahead tile prefetch window (0 = auto from the miss ratio, <0 = off)")
+		residency  = flag.String("residency", "auto", "tile residency tier: auto, cached, streaming")
 		rebalance  = flag.Bool("rebalance", true, "migrate tiles off straggling servers between supersteps")
 		rebalRatio = flag.Float64("rebalance-ratio", 0, "straggler trigger: server step cost over ratio x cluster mean (0 = 1.3)")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint the vertex state every K supersteps for crash recovery (0 = off)")
@@ -104,7 +107,9 @@ func main() {
 		CacheCapacity:      *cacheCap,
 		DiskReadBandwidth:  *diskBW,
 		DiskWriteBandwidth: *diskBW,
+		DiskReadLatency:    *diskLat,
 		NetBandwidth:       *netBW,
+		PrefetchDepth:      *prefetch,
 		DisableRebalance:   !*rebalance,
 		RebalanceRatio:     *rebalRatio,
 		CheckpointEvery:    *ckptEvery,
@@ -126,6 +131,11 @@ func main() {
 			fail(err)
 		}
 		opts.CachePolicy = &p
+	}
+	if r, err := graphh.ResidencyByName(*residency); err != nil {
+		fail(err)
+	} else {
+		opts.Residency = r
 	}
 	mc, err := parseCodec(*msgCodec)
 	if err != nil {
@@ -194,11 +204,24 @@ func printJob(name string, res *graphh.Result, first bool, top int) {
 		fmt.Printf("recovery: servers %v died mid-run; survivors completed %d recovery rounds\n",
 			res.DeadServers, recoveries)
 	}
+	var pfIssued, pfHits, pfWasted, queueHW int64
 	for _, sv := range res.Servers {
-		fmt.Printf("  server %d: mem %.2f MB, disk read %.2f MB, cache hit %.1f%% (%s/%s)\n",
+		pfIssued += sv.PrefetchIssued
+		pfHits += sv.PrefetchHits
+		pfWasted += sv.PrefetchWasted
+		if sv.Disk.QueueHighWater > queueHW {
+			queueHW = sv.Disk.QueueHighWater
+		}
+	}
+	if pfIssued > 0 {
+		fmt.Printf("prefetch: %d tiles staged, %d claimed, %d wasted; disk queue depth peaked at %d\n",
+			pfIssued, pfHits, pfWasted, queueHW)
+	}
+	for _, sv := range res.Servers {
+		fmt.Printf("  server %d: mem %.2f MB, disk read %.2f MB, cache hit %.1f%% (%s/%s, %s tiles)\n",
 			sv.Server, float64(sv.MemoryBytes)/1e6,
 			float64(sv.Disk.ReadBytes)/1e6, sv.Cache.HitRatio()*100,
-			sv.CacheMode, sv.CachePolicy)
+			sv.CacheMode, sv.CachePolicy, sv.Residency)
 	}
 
 	type kv struct {

@@ -142,6 +142,27 @@ const (
 // "clock") as printed by CachePolicy.String.
 func CachePolicyByName(name string) (CachePolicy, error) { return cache.PolicyByName(name) }
 
+// ResidencyMode selects the tile-residency tier of the out-of-core
+// pipeline; see Options.Residency.
+type ResidencyMode = core.ResidencyMode
+
+// Available residency tiers.
+const (
+	// ResidencyAuto picks per session: cached while the budget earns a
+	// useful hit ratio, streaming when it sits at or below 1/8 of the tile
+	// working set (or the cache is disabled).
+	ResidencyAuto = core.ResidencyAuto
+	// ResidencyCached forces the edge-cache tier.
+	ResidencyCached = core.ResidencyCached
+	// ResidencyStreaming forces the GraphD-style streaming tier: every
+	// tile streams through pooled scratch each sweep, bypassing the cache.
+	ResidencyStreaming = core.ResidencyStreaming
+)
+
+// ResidencyByName parses a residency name ("auto", "cached", "streaming")
+// as printed by ResidencyMode.String.
+func ResidencyByName(name string) (ResidencyMode, error) { return core.ResidencyByName(name) }
+
 // Fault injection and recovery re-exports. A FaultPlan scripts
 // deterministic failures — server crashes and hangs, disk-op errors,
 // dropped or duplicated wire frames — into a Run or a Session via
@@ -257,6 +278,11 @@ type Options struct {
 	// in bytes/second; 0 = unthrottled.
 	DiskReadBandwidth  int64
 	DiskWriteBandwidth int64
+	// DiskReadLatency models the per-operation cost of a read (seek +
+	// request overhead) on top of the bandwidth charge; 0 keeps the pure
+	// bandwidth model. It is what makes batched prefetch reads cheaper
+	// than tile-at-a-time reads.
+	DiskReadLatency time.Duration
 	// NetBandwidth models each server's NIC in bytes/second; 0 = unlimited.
 	NetBandwidth int64
 	// CacheCapacity is the per-server edge cache budget in bytes:
@@ -268,6 +294,17 @@ type Options struct {
 	// automatically — CacheClock when the capacity cannot hold the tile
 	// working set (eviction decisions matter), CacheAdmitNoEvict otherwise.
 	CachePolicy *CachePolicy
+	// PrefetchDepth sizes the sweep-ahead tile prefetch window: 0 (the
+	// default) sizes it automatically from the expected miss ratio — a
+	// full-residency cache prefetches nothing — and a negative value
+	// disables prefetching. Results are bit-identical either way; the
+	// window only changes where tile bytes come from.
+	PrefetchDepth int
+	// Residency selects the tile-residency tier: ResidencyAuto (default)
+	// keeps the edge cache in the loop while the budget earns hits and
+	// switches to GraphD-style streaming when it is far below the tile
+	// working set; ResidencyCached / ResidencyStreaming force a tier.
+	Residency ResidencyMode
 	// MessageCodec compresses update broadcasts; nil = snappy (§IV-C).
 	// Per-job override: RunOptions.MessageCodec.
 	MessageCodec *Codec
@@ -325,9 +362,15 @@ func (o Options) engineConfig() (core.Config, error) {
 	cfg.WorkersPerServer = o.Workers
 	cfg.MaxSupersteps = o.MaxSupersteps
 	cfg.Transport = o.Transport
-	cfg.Disk = disk.Config{ReadBandwidth: o.DiskReadBandwidth, WriteBandwidth: o.DiskWriteBandwidth}
+	cfg.Disk = disk.Config{
+		ReadBandwidth:  o.DiskReadBandwidth,
+		WriteBandwidth: o.DiskWriteBandwidth,
+		ReadLatency:    o.DiskReadLatency,
+	}
 	cfg.NetBandwidth = o.NetBandwidth
 	cfg.CacheCapacity = o.CacheCapacity
+	cfg.PrefetchDepth = o.PrefetchDepth
+	cfg.Residency = o.Residency
 	if o.CacheMode != nil {
 		cfg.CacheAuto = false
 		cfg.CacheMode = *o.CacheMode

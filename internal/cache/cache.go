@@ -178,6 +178,22 @@ type Cache struct {
 	// less room) still gets its own scan.
 	declinedEpoch int64
 	declinedSize  int64
+	// flights single-flights concurrent LoadInto calls per tile id: the
+	// first loader becomes the leader, later callers wait on flightCond and
+	// reuse its result instead of issuing duplicate disk reads. Retired
+	// flight records are recycled through flightFree so the steady state
+	// allocates nothing.
+	flights    map[int]*flight
+	flightCond *sync.Cond
+	flightFree []*flight
+}
+
+// flight is one in-progress tile load. Guarded by Cache.mu.
+type flight struct {
+	done    bool
+	err     error
+	shared  *csr.Tile // leader's clone for waiters when the tile was not admitted
+	waiters int
 }
 
 // New creates a cache with the given capacity in bytes and mode, using the
@@ -217,7 +233,9 @@ func NewWithPolicy(capacityBytes int64, mode compress.Mode, policy Policy) (*Cac
 		lru:           list.New(),
 		chances:       DefaultChances,
 		declinedEpoch: noEpoch,
+		flights:       make(map[int]*flight),
 	}
+	c.flightCond = sync.NewCond(&c.mu)
 	c.scratch.New = func() any { return new([]byte) }
 	return c, nil
 }
@@ -286,10 +304,30 @@ func (c *Cache) Get(id int) (*csr.Tile, bool) {
 // itself is returned and dst is untouched, so callers must always use the
 // returned tile. A nil dst decodes into a fresh tile.
 func (c *Cache) GetInto(id int, dst *csr.Tile) (*csr.Tile, bool) {
+	return c.getInto(id, dst, true)
+}
+
+// Contains reports whether id is resident right now, with no side effects:
+// no hit/miss accounting and no recency touch. The prefetcher's peek at the
+// resident set must not protect entries from aging out or skew the hit
+// ratio the way a real access would.
+func (c *Cache) Contains(id int) bool {
+	c.mu.Lock()
+	_, ok := c.entries[id]
+	c.mu.Unlock()
+	return ok
+}
+
+// getInto is the hit path; count selects whether the access lands in the
+// hit/miss statistics (a single-flight waiter re-checking residency after
+// its leader finished already counted its miss).
+func (c *Cache) getInto(id int, dst *csr.Tile, count bool) (*csr.Tile, bool) {
 	c.mu.Lock()
 	e, ok := c.entries[id]
 	if !ok {
-		c.stats.Misses++
+		if count {
+			c.stats.Misses++
+		}
 		c.mu.Unlock()
 		return nil, false
 	}
@@ -299,7 +337,9 @@ func (c *Cache) GetInto(id int, dst *csr.Tile) (*csr.Tile, bool) {
 		c.lru.MoveToFront(e.elem)
 	}
 	e.lastEpoch = c.epoch
-	c.stats.Hits++
+	if count {
+		c.stats.Hits++
+	}
 	tile, blob := e.tile, e.blob
 	c.mu.Unlock()
 
@@ -326,8 +366,10 @@ func (c *Cache) GetInto(id int, dst *csr.Tile) (*csr.Tile, bool) {
 	// Corrupt cache entry: drop it and report a miss so the caller reloads
 	// from disk.
 	c.mu.Lock()
-	c.stats.Hits--
-	c.stats.Misses++
+	if count {
+		c.stats.Hits--
+		c.stats.Misses++
+	}
 	c.removeLocked(id)
 	c.mu.Unlock()
 	return nil, false
@@ -500,10 +542,101 @@ func (c *Cache) GetOrLoad(id int, load func() (*csr.Tile, error)) (*csr.Tile, er
 // fresh tile because the cache may retain the decoded form (mode None with
 // room left). Once the cache has settled — every tile either cached or
 // declined — misses decode into dst and the hot path stops allocating.
+// Concurrent loads of the same id are single-flighted (see LoadInto).
 func (c *Cache) GetOrLoadInto(id int, dst *csr.Tile, load func(dst *csr.Tile) (*csr.Tile, error)) (*csr.Tile, error) {
 	if t, ok := c.GetInto(id, dst); ok {
 		return t, nil
 	}
+	return c.LoadInto(id, dst, load)
+}
+
+// LoadInto is the post-miss half of GetOrLoadInto: it loads the tile and
+// offers it for admission under the cache's policy. Callers that already
+// took a miss through GetInto use it directly so the miss is not counted
+// twice. Concurrent LoadInto calls for the same id are single-flighted: one
+// caller becomes the leader and runs load, the rest wait and reuse its
+// result — a demand load and a racing prefetch of the same tile never issue
+// duplicate disk reads. A waiter resolves from the cache when the leader's
+// tile was admitted, from a shared clone when it was not, and falls back to
+// its own load only if the leader failed.
+func (c *Cache) LoadInto(id int, dst *csr.Tile, load func(dst *csr.Tile) (*csr.Tile, error)) (*csr.Tile, error) {
+	c.mu.Lock()
+	for {
+		f, ok := c.flights[id]
+		if !ok {
+			break
+		}
+		f.waiters++
+		for !f.done {
+			c.flightCond.Wait()
+		}
+		f.waiters--
+		err, shared := f.err, f.shared
+		if f.waiters == 0 {
+			c.recycleFlightLocked(f)
+		}
+		c.mu.Unlock()
+		if err == nil {
+			if shared != nil {
+				return shared, nil
+			}
+			if t, ok := c.getInto(id, dst, false); ok {
+				return t, nil
+			}
+		}
+		// The leader failed, or its admitted entry was evicted before we
+		// got to it: take the lock back and load ourselves (possibly as a
+		// waiter again, if yet another leader is already in flight).
+		c.mu.Lock()
+	}
+	f := c.newFlightLocked()
+	c.flights[id] = f
+	c.mu.Unlock()
+
+	t, err := c.loadMissInto(id, dst, load)
+
+	c.mu.Lock()
+	delete(c.flights, id)
+	f.done = true
+	f.err = err
+	if err == nil && f.waiters > 0 {
+		if _, resident := c.entries[id]; !resident {
+			// The tile was declined (or the cache stores blobs): waiters
+			// cannot re-fetch it from the cache, so share one read-only
+			// clone — t itself may alias the leader's scratch.
+			f.shared = t.Clone()
+		}
+	}
+	if f.waiters == 0 {
+		c.recycleFlightLocked(f)
+	} else {
+		c.flightCond.Broadcast()
+	}
+	c.mu.Unlock()
+	return t, err
+}
+
+// newFlightLocked takes a flight record off the freelist (or allocates the
+// first few); recycleFlightLocked returns one once its last user is done.
+func (c *Cache) newFlightLocked() *flight {
+	if n := len(c.flightFree); n > 0 {
+		f := c.flightFree[n-1]
+		c.flightFree = c.flightFree[:n-1]
+		*f = flight{}
+		return f
+	}
+	return new(flight)
+}
+
+func (c *Cache) recycleFlightLocked(f *flight) {
+	f.shared = nil
+	f.err = nil
+	c.flightFree = append(c.flightFree, f)
+}
+
+// loadMissInto runs the load function with the right destination for the
+// cache's mode and policy and offers the result for admission.
+func (c *Cache) loadMissInto(id int, dst *csr.Tile, load func(dst *csr.Tile) (*csr.Tile, error)) (*csr.Tile, error) {
 	into, scratchDecoded := dst, false
 	if c.mode == compress.None && c.capacity > 0 {
 		// In mode None, Put retains the decoded tile itself, so it must own
@@ -541,26 +674,8 @@ func (c *Cache) GetOrLoadInto(id int, dst *csr.Tile, load func(dst *csr.Tile) (*
 		return nil, err
 	}
 	if scratchDecoded {
-		// Preserve the paper's per-insertion admission (§IV-B): a tile that
-		// still fits is admitted even after earlier declines, but it must
-		// own its memory, so pay for a deep copy only when it will be kept.
-		// Under Clock, "fits" extends to admission by evicting aged entries.
-		size := t.SizeBytes()
-		c.mu.Lock()
-		_, present := c.entries[id]
-		admit := !present && size <= c.capacity
-		if admit {
-			if c.policy == Clock {
-				admit = c.clockAdmissibleLocked(size)
-			} else {
-				admit = c.bytes+size <= c.capacity
-			}
-		}
-		c.mu.Unlock()
-		if admit {
-			if err := c.Put(id, t.Clone()); err != nil {
-				return nil, err
-			}
+		if err := c.AdmitLoaded(id, t); err != nil {
+			return nil, err
 		}
 		return t, nil
 	}
@@ -570,6 +685,48 @@ func (c *Cache) GetOrLoadInto(id int, dst *csr.Tile, load func(dst *csr.Tile) (*
 		return nil, err
 	}
 	return t, nil
+}
+
+// AdmitLoaded offers a tile that was loaded outside the cache — a
+// prefetcher's staged tile, or a scratch-decoded demand miss — for
+// admission at exactly demand-miss parity (§IV-B, per-insertion): a tile
+// that fits is admitted even after earlier declines; under Clock, "fits"
+// extends to admission by evicting aged entries, never hotter residents.
+// The tile itself is never retained: mode None admissions deep-copy, and
+// compressed modes encode — so a prefetched tile can keep flowing through
+// pooled scratch regardless of the admission outcome. Declines settle the
+// cache the same way a demand-miss decline does.
+func (c *Cache) AdmitLoaded(id int, t *csr.Tile) error {
+	if c.capacity <= 0 {
+		return nil
+	}
+	if c.mode != compress.None {
+		// Put compresses t into a blob and does not retain t.
+		return c.Put(id, t)
+	}
+	size := t.SizeBytes()
+	c.mu.Lock()
+	_, present := c.entries[id]
+	admit := !present && size <= c.capacity
+	if admit {
+		switch c.policy {
+		case Clock:
+			admit = c.clockAdmissibleLocked(size)
+		case AdmitNoEvict:
+			admit = c.bytes+size <= c.capacity
+			if !admit {
+				c.declined = true
+			}
+		default:
+			// LRU always admits, evicting from the cold end to fit.
+		}
+	}
+	c.mu.Unlock()
+	if !admit {
+		return nil
+	}
+	// Pay for the deep copy only when the tile will actually be kept.
+	return c.Put(id, t.Clone())
 }
 
 func (c *Cache) removeLocked(id int) {

@@ -53,6 +53,20 @@ type Config struct {
 	// CachePolicy is the fixed eviction policy when CachePolicyAuto is
 	// false.
 	CachePolicy cache.Policy
+	// PrefetchDepth sizes the sweep-ahead tile prefetcher: how many tiles
+	// past the current sweep position may be staged by background batched
+	// reads. 0 (default) sizes it automatically from the expected miss
+	// ratio (costmodel.PrefetchDepth — off when the cache holds the whole
+	// working set); a negative value disables prefetching entirely.
+	// Prefetching only changes where tile bytes come from; results are
+	// bit-identical either way.
+	PrefetchDepth int
+	// Residency selects the tile residency tier. ResidencyAuto (default)
+	// picks via costmodel.SelectResidency: cached while the budget earns a
+	// useful hit ratio, streaming (GraphD-style — tiles flow through pooled
+	// scratch, no cache churn) when the budget is ≤ 1/8 of the working set
+	// or the cache is disabled.
+	Residency ResidencyMode
 	// MsgCodec compresses update broadcasts (§IV-C); the paper's default
 	// is snappy (set by DefaultConfig). Sessions treat it as the per-job
 	// default; JobOptions.MsgCodec overrides it for one Submit.
@@ -133,6 +147,53 @@ type Config struct {
 	// kills, disk-op errors, dropped or duplicated wire frames (see
 	// fault.go). nil injects nothing.
 	Faults *FaultPlan
+}
+
+// ResidencyMode selects how tile data lives in memory during a superstep
+// sweep (see costmodel.Residency for the crossover model).
+type ResidencyMode int
+
+const (
+	// ResidencyAuto lets the costmodel pick per session from the expected
+	// cached working set and the cache capacity.
+	ResidencyAuto ResidencyMode = iota
+	// ResidencyCached forces the edge-cache tier: resident tiles hit,
+	// misses load with policy-controlled admission.
+	ResidencyCached
+	// ResidencyStreaming forces the GraphD-style streaming tier: every
+	// tile streams through pooled scratch each sweep and the edge cache is
+	// bypassed. The right regime when the budget is far below the working
+	// set — the cache's churn and admission work buy almost no hits there.
+	ResidencyStreaming
+)
+
+// String returns the tier name used in stats output and CLI flags.
+func (r ResidencyMode) String() string {
+	switch r {
+	case ResidencyAuto:
+		return "auto"
+	case ResidencyCached:
+		return "cached"
+	case ResidencyStreaming:
+		return "streaming"
+	default:
+		return fmt.Sprintf("residency(%d)", int(r))
+	}
+}
+
+// ResidencyByName parses a residency name ("auto", "cached", "streaming")
+// as printed by ResidencyMode.String.
+func ResidencyByName(name string) (ResidencyMode, error) {
+	switch name {
+	case "auto":
+		return ResidencyAuto, nil
+	case "cached":
+		return ResidencyCached, nil
+	case "streaming":
+		return ResidencyStreaming, nil
+	default:
+		return 0, fmt.Errorf("core: unknown residency %q (want auto, cached or streaming)", name)
+	}
 }
 
 // DefaultConfig returns the paper's default engine configuration for an
@@ -343,6 +404,14 @@ type server struct {
 	tilesIn  int
 	tilesOut int
 
+	// pf is the sweep-ahead tile prefetcher (nil when off); pfDepth its
+	// window; residency the resolved tile-residency tier. All three are
+	// session-lifetime — the prefetcher's reader workers and staged-tile
+	// pools stay warm across jobs.
+	pf        *prefetcher
+	pfDepth   int
+	residency ResidencyMode
+
 	// Fault tolerance. workRoot is the session work directory (recovery
 	// reads dead peers' tile blobs from their subdirectories); baseOwner
 	// and curOwner are this server's copies of the tile→server ownership
@@ -486,6 +555,12 @@ func (s *server) runJob(jb *job) (fatal error) {
 		}
 		jb.errs[s.node.ID()] = err
 		return err
+	}
+	if s.pf != nil {
+		// Park the prefetcher: any straggling batch finishes and unclaimed
+		// staging is flushed, so the stats below are settled and the next
+		// job starts clean.
+		s.pf.drain()
 	}
 	s.fillServerStats()
 	return nil
@@ -667,12 +742,12 @@ func (s *server) setup() error {
 	if s.cfg.CacheAuto {
 		mode = compress.SelectCacheMode(totalEnc, capacity)
 	}
+	// The bytes competing for capacity are the tiles as the chosen mode
+	// stores them: decoded (≈ encoded size) for mode None, an expected
+	// γ-fold smaller for the compressed modes.
+	expectedCached := int64(float64(totalEnc) / mode.ExpectedRatio())
 	policy := s.cfg.CachePolicy
 	if s.cfg.CachePolicyAuto {
-		// The bytes competing for capacity are the tiles as the chosen mode
-		// stores them: decoded (≈ encoded size) for mode None, an expected
-		// γ-fold smaller for the compressed modes.
-		expectedCached := int64(float64(totalEnc) / mode.ExpectedRatio())
 		policy = cache.AdmitNoEvict
 		if costmodel.SelectClockPolicy(expectedCached, capacity) {
 			policy = cache.Clock
@@ -681,6 +756,33 @@ func (s *server) setup() error {
 	s.cache, err = cache.NewWithPolicy(capacity, mode, policy)
 	if err != nil {
 		return err
+	}
+
+	// Residency tier: past the streaming crossover the cache machinery buys
+	// almost no hits, so tiles flow through worker scratch instead (the
+	// cache object stays — empty — for uniform stats accounting).
+	s.residency = s.cfg.Residency
+	if s.residency == ResidencyAuto {
+		s.residency = ResidencyCached
+		if costmodel.SelectResidency(expectedCached, capacity) == costmodel.ResidencyStreaming {
+			s.residency = ResidencyStreaming
+		}
+	}
+
+	// Sweep-ahead prefetch window: sized from the expected miss ratio (a
+	// full-residency cache needs none), or forced by the knob. The
+	// prefetcher and its reader workers live for the whole session.
+	depth := s.cfg.PrefetchDepth
+	if depth == 0 {
+		effCap := capacity
+		if s.residency == ResidencyStreaming {
+			effCap = 0 // every sweep misses everything
+		}
+		depth = costmodel.PrefetchDepth(expectedCached, effCap, s.cfg.WorkersPerServer)
+	}
+	if depth > 0 {
+		s.pfDepth = depth
+		s.pf = newPrefetcher(s.store, s.cache, s.total, depth, s.residency == ResidencyCached)
 	}
 
 	if s.cfg.Replication == OnDemand {
@@ -814,7 +916,17 @@ func (s *server) runStep(step int, prevUpdated, updatedBuf []uint32, encOpts com
 			}
 		}(s.scratch[w])
 	}
+	if s.pf != nil {
+		// New sweep: drain the previous step's staging and hand the
+		// prefetcher this step's tile order and skip predicate.
+		s.pf.restart(s.metas, prevUpdated, step, s.cfg.BloomSkip)
+	}
 	for k := range s.metas {
+		if s.pf != nil {
+			// Keep the staging window pfDepth tiles ahead of the feed
+			// position; reach never blocks on I/O.
+			s.pf.reach(k + s.pfDepth)
+		}
 		work <- k
 	}
 	close(work)
@@ -1022,6 +1134,56 @@ func (s *server) adaptSendQueue() {
 	s.sender = s.node.NewSender(next)
 }
 
+// loadTile materializes one tile for processTile: cache hit, staged
+// prefetch, or synchronous demand read — in that order of preference. The
+// prefetcher is consulted only after a cache miss, and its staged tile is
+// offered for admission with exactly the same policy decision a demand miss
+// gets (cache.AdmitLoaded), so prefetching never changes what the cache
+// retains. A failed prefetch falls through to the synchronous path — the
+// demand read is the retry. Under the streaming residency tier the cache
+// holds no tiles (GetInto still runs for uniform hit/miss accounting) and
+// un-prefetched tiles are read and decoded straight into worker scratch.
+func (s *server) loadTile(meta *tileMeta, scr *workerScratch) (*csr.Tile, error) {
+	if t, ok := s.cache.GetInto(meta.id, &scr.tile); ok {
+		return t, nil
+	}
+	if s.pf != nil {
+		if t := s.pf.take(meta.id, &scr.tile); t != nil {
+			if s.residency == ResidencyCached {
+				if err := s.cache.AdmitLoaded(meta.id, t); err != nil {
+					return nil, err
+				}
+			}
+			return t, nil
+		}
+	}
+	if s.residency == ResidencyStreaming {
+		data, err := s.store.ReadInto(meta.blob, scr.disk[:0])
+		if err != nil {
+			return nil, err
+		}
+		scr.disk = data[:0] // keep (possibly grown) buffer for the next load
+		if err := csr.DecodeInto(&scr.tile, data); err != nil {
+			return nil, err
+		}
+		return &scr.tile, nil
+	}
+	return s.cache.LoadInto(meta.id, &scr.tile, func(dst *csr.Tile) (*csr.Tile, error) {
+		data, err := s.store.ReadInto(meta.blob, scr.disk[:0])
+		if err != nil {
+			return nil, err
+		}
+		scr.disk = data[:0] // keep (possibly grown) buffer for the next load
+		if dst == nil {
+			return csr.Decode(data)
+		}
+		if err := csr.DecodeInto(dst, data); err != nil {
+			return nil, err
+		}
+		return dst, nil
+	})
+}
+
 // tileOut is the outcome of processing one tile in one superstep. nanos is
 // the tile's measured wall-clock cost (load + gather + apply + encode +
 // enqueue) — the signal the rebalancer's straggler detector consumes.
@@ -1138,20 +1300,7 @@ func (s *server) processTile(k, step int, prevUpdated []uint32, encOpts comm.Opt
 	}
 	updates := s.updBufs[k][:0]
 	if !skip {
-		t, err := s.cache.GetOrLoadInto(meta.id, &scr.tile, func(dst *csr.Tile) (*csr.Tile, error) {
-			data, err := s.store.ReadInto(meta.blob, scr.disk[:0])
-			if err != nil {
-				return nil, err
-			}
-			scr.disk = data[:0] // keep (possibly grown) buffer for the next load
-			if dst == nil {
-				return csr.Decode(data)
-			}
-			if err := csr.DecodeInto(dst, data); err != nil {
-				return nil, err
-			}
-			return dst, nil
-		})
+		t, err := s.loadTile(meta, scr)
 		if err != nil {
 			out.err = fmt.Errorf("core: server %d loading tile %d: %w", s.node.ID(), meta.id, err)
 			return out
@@ -1337,6 +1486,10 @@ func (s *server) fillServerStats() {
 	st.Cache = cs
 	st.CacheMode = s.cache.Mode()
 	st.CachePolicy = s.cache.Policy()
+	st.Residency = s.residency
+	if s.pf != nil {
+		st.PrefetchIssued, st.PrefetchHits, st.PrefetchWasted = s.pf.statsSnapshot()
+	}
 	st.TilesMigratedIn = s.tilesIn
 	st.TilesMigratedOut = s.tilesOut
 	if !s.lockstep {

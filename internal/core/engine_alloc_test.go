@@ -146,7 +146,13 @@ func TestProcessTileSteadyStateAllocs(t *testing.T) {
 	}{
 		{"raw-cache-unlimited", func(c *Config) { c.CacheMode = compress.None }, false, 0},
 		{"snappy-cache-unlimited", func(c *Config) { c.CacheMode = compress.Snappy }, false, 0},
-		{"raw-cache-tiny", func(c *Config) { c.CacheMode = compress.None; c.CacheCapacity = 128 }, false, 0},
+		// Residency is forced: a 128-byte budget would auto-select the
+		// streaming tier, and this case pins the declined-admission path.
+		{"raw-cache-tiny", func(c *Config) {
+			c.CacheMode = compress.None
+			c.CacheCapacity = 128
+			c.Residency = ResidencyCached
+		}, false, 0},
 		{"cache-disabled", func(c *Config) { c.CacheCapacity = -1 }, false, 0},
 		{"pipelined-sender", func(c *Config) { c.CacheMode = compress.None }, true, 0},
 	}
@@ -160,6 +166,58 @@ func TestProcessTileSteadyStateAllocs(t *testing.T) {
 					allocs, len(sv.metas), tc.budget)
 			}
 		})
+	}
+}
+
+// TestPrefetchSteadyStateAllocs pins the sweep-ahead pipeline to the same
+// zero-allocation budget as the synchronous path: once slots, batch ops, and
+// frame buffers are warm, a full prefetch-fed sweep (restart + reach +
+// processTile per tile, exactly the runStep choreography) must not allocate —
+// including on the async reader's worker goroutines, which AllocsPerRun
+// counts too.
+func TestPrefetchSteadyStateAllocs(t *testing.T) {
+	if racedetect.Enabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	sv, encOpts, cleanup := newWarmServer(t, func(c *Config) {
+		// No cache: the session streams, so every tile load is a prefetch
+		// hit in the steady state.
+		c.CacheCapacity = -1
+	}, false)
+	defer cleanup()
+	if sv.pf == nil {
+		t.Fatal("streaming session did not start a prefetcher")
+	}
+	scr := sv.scratch[0]
+	step := 2
+	sweep := func() {
+		sv.pf.restart(sv.metas, nil, step, sv.cfg.BloomSkip)
+		for k := range sv.metas {
+			sv.pf.reach(k + sv.pfDepth)
+			if out := sv.processTile(k, step, nil, encOpts, scr); out.err != nil {
+				t.Fatal(out.err)
+			}
+			for _, u := range sv.updBufs[k] {
+				sv.state.set(u.ID, u.Value)
+			}
+		}
+		step++
+	}
+	// Warm the prefetch pipeline itself: slot and op freelists, the batch
+	// frame buffers, and the decoded tiles' arrays.
+	for i := 0; i < 3; i++ {
+		sweep()
+	}
+	before, _, _ := sv.pf.statsSnapshot()
+	allocs := testing.AllocsPerRun(10, sweep)
+	if allocs > 0 {
+		t.Errorf("steady-state prefetch sweep allocates %.1f times over %d tiles, want 0",
+			allocs, len(sv.metas))
+	}
+	issued, hits, _ := sv.pf.statsSnapshot()
+	if issued <= before || hits == 0 {
+		t.Fatalf("measurement sweeps did not run through the prefetcher: issued %d→%d, hits %d",
+			before, issued, hits)
 	}
 }
 

@@ -275,6 +275,7 @@ func TestErrSessionDead(t *testing.T) {
 	cfg.WorkDir = t.TempDir()
 	cfg.MaxSupersteps = 6
 	cfg.CacheCapacity = -1 // force tile reads every step so the disk fault fires
+	cfg.PrefetchDepth = -1 // fault must hit a demand read: a failed prefetch is retried, not fatal
 	cfg.Faults = &FaultPlan{Disk: []DiskFault{{Server: 0, Op: "read", AfterOps: 4}}}
 	se, err := Open(Input{Partition: p}, cfg)
 	if err != nil {

@@ -244,6 +244,9 @@ func Open(in Input, cfg Config) (*Session, error) {
 				faults:    faults,
 			}
 			defer func() {
+				if sv.pf != nil {
+					sv.pf.close() // join the reader workers before the store goes
+				}
 				if sv.store != nil {
 					sv.store.Close() // release cached tile-read descriptors
 				}

@@ -67,6 +67,18 @@ type ServerStats struct {
 	// CachePolicy is the eviction policy the cache ran with (auto-selected
 	// or fixed).
 	CachePolicy cache.Policy
+	// Residency is the tile-residency tier the server ran with
+	// (auto-selected or forced): cached, or GraphD-style streaming.
+	Residency ResidencyMode
+	// PrefetchIssued counts tiles the sweep-ahead prefetcher handed to
+	// background batched reads; PrefetchHits the staged tiles the demand
+	// path claimed; PrefetchWasted the staged tiles never claimed plus
+	// failed prefetch reads (the demand path retried those synchronously).
+	// Disk queue-depth pressure from the same pipeline shows up in
+	// Disk.QueuedOps/QueueHighWater.
+	PrefetchIssued int64
+	PrefetchHits   int64
+	PrefetchWasted int64
 	// BytesSent and BytesRecv are the server's network totals.
 	BytesSent int64
 	BytesRecv int64

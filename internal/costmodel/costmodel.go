@@ -242,6 +242,121 @@ func SelectClockPolicy(workingSetBytes, capacityBytes int64) bool {
 	return capacityBytes > 0 && capacityBytes < workingSetBytes
 }
 
+// Out-of-core residency planning. When the cache budget is far below the
+// working set, nearly every access misses and the cache machinery is pure
+// overhead: admission checks, settling, and (worse) churn that evicts the
+// few residents the sweep would have hit. GraphD runs that regime by
+// design — edges stream through a small scratch buffer every superstep and
+// nothing is retained — and its disk-bound throughput is the best achievable
+// there. SelectResidency picks between the two regimes; the prefetch-depth
+// helpers size the sweep-ahead pipeline that hides the miss latency in
+// either one.
+
+// Residency is the engine's tile-residency tier.
+type Residency int
+
+const (
+	// ResidencyCached keeps the edge cache in the loop: resident tiles hit,
+	// misses load (and prefetch) from disk with policy-controlled admission.
+	ResidencyCached Residency = iota
+	// ResidencyStreaming bypasses the cache for tile data: every tile
+	// streams through pooled scratch each sweep, GraphD-style. Chosen when
+	// the budget is so far below the working set that hits are negligible.
+	ResidencyStreaming
+)
+
+// String returns the tier name used in stats output and CLI flags.
+func (r Residency) String() string {
+	switch r {
+	case ResidencyCached:
+		return "cached"
+	case ResidencyStreaming:
+		return "streaming"
+	default:
+		return "residency(?)"
+	}
+}
+
+// StreamingCrossover is the working-set-to-capacity ratio past which
+// SelectResidency flips to streaming: a budget at or below 1/8 of the
+// working set yields at most a 12.5% cyclic hit ratio — the disk still
+// carries ≥87.5% of the bytes every sweep, so dropping the cache costs
+// little and removes its churn and admission overhead from the hot loop.
+const StreamingCrossover = 8
+
+// SelectResidency picks the residency tier from the expected cached working
+// set and the cache capacity (in bytes). A non-positive capacity means no
+// cache at all — always streaming.
+func SelectResidency(workingSetBytes, capacityBytes int64) Residency {
+	if capacityBytes <= 0 {
+		return ResidencyStreaming
+	}
+	// Division, not capacity*StreamingCrossover: an effectively unlimited
+	// capacity (MaxInt64) must not overflow into a negative product.
+	if workingSetBytes > 0 && capacityBytes <= workingSetBytes/StreamingCrossover {
+		return ResidencyStreaming
+	}
+	return ResidencyCached
+}
+
+// Prefetch-depth bounds: even one worker profits from a couple of tiles in
+// flight (read N+1 while computing N), and past 16 the sweep-ahead window
+// only adds staged-tile memory without more overlap to win.
+const (
+	MinPrefetchDepth = 2
+	MaxPrefetchDepth = 16
+)
+
+// PrefetchDepth sizes the sweep-ahead window — how many tiles past the
+// current sweep position the prefetcher may stage — from the expected miss
+// ratio of the cyclic sweep and the worker count. A full-residency cache
+// (capacity at or above the working set) needs no prefetch at all: 0. Below
+// that, the window scales with the miss ratio (an all-miss streaming sweep
+// wants the full window; a 30%-miss sweep needs less) and never drops below
+// two tiles per worker, so every worker can overlap its next read.
+func PrefetchDepth(workingSetBytes, capacityBytes int64, workers int) int {
+	if workingSetBytes <= 0 || capacityBytes >= workingSetBytes {
+		return 0
+	}
+	miss := 1 - CyclicHitRatio(workingSetBytes, capacityBytes)
+	depth := int(math.Round(miss * MaxPrefetchDepth))
+	if workers < 1 {
+		workers = 1
+	}
+	if w := 2 * workers; depth < w {
+		depth = w
+	}
+	if depth < MinPrefetchDepth {
+		depth = MinPrefetchDepth
+	}
+	if depth > MaxPrefetchDepth {
+		depth = MaxPrefetchDepth
+	}
+	return depth
+}
+
+// PrefetchIODepth converts a sweep-ahead window into the number of batched
+// reads allowed in flight at once: enough to cover the window in batches of
+// batchSize, clamped to [1, 4] — one op keeps the device busy, a few hide
+// per-op queueing, and more just deepens the device queue the bandwidth
+// model must drain anyway.
+func PrefetchIODepth(depth, batchSize int) int {
+	if depth < 1 {
+		return 1
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	io := (depth + batchSize - 1) / batchSize
+	if io < 1 {
+		io = 1
+	}
+	if io > 4 {
+		io = 4
+	}
+	return io
+}
+
 // Dynamic tile rebalancing (superstep-boundary straggler relief). A BSP
 // superstep is gated by the slowest server, and a static tile assignment
 // leaves that straggler fixed for the whole run even as the active-vertex

@@ -354,3 +354,84 @@ func TestCheckpointEverySteps(t *testing.T) {
 		t.Fatalf("no failure model must disable, got %d", k)
 	}
 }
+
+func TestSelectResidency(t *testing.T) {
+	const ws = 8 << 30 // 8 GiB working set
+	if got := SelectResidency(ws, 0); got != ResidencyStreaming {
+		t.Fatalf("no cache at all must stream, got %v", got)
+	}
+	if got := SelectResidency(ws, -1); got != ResidencyStreaming {
+		t.Fatalf("negative capacity must stream, got %v", got)
+	}
+	// Exactly at the crossover (1/8 of the working set) → streaming; one
+	// byte above → cached.
+	if got := SelectResidency(ws, ws/StreamingCrossover); got != ResidencyStreaming {
+		t.Fatalf("budget at 1/%d of working set must stream, got %v", StreamingCrossover, got)
+	}
+	if got := SelectResidency(ws, ws/StreamingCrossover+1); got != ResidencyCached {
+		t.Fatalf("budget above the crossover must stay cached, got %v", got)
+	}
+	if got := SelectResidency(ws, ws); got != ResidencyCached {
+		t.Fatalf("full-residency budget must stay cached, got %v", got)
+	}
+	if got := SelectResidency(0, 1); got != ResidencyCached {
+		t.Fatalf("empty working set with any cache must stay cached, got %v", got)
+	}
+	// Regression: an effectively unlimited capacity (MaxInt64, the engine's
+	// encoding of "no limit") must not overflow the crossover comparison
+	// into a negative product and misclassify the session as streaming.
+	if got := SelectResidency(ws, math.MaxInt64); got != ResidencyCached {
+		t.Fatalf("unlimited capacity must stay cached, got %v", got)
+	}
+	if ResidencyCached.String() != "cached" || ResidencyStreaming.String() != "streaming" {
+		t.Fatalf("residency names: %v / %v", ResidencyCached, ResidencyStreaming)
+	}
+}
+
+func TestPrefetchDepth(t *testing.T) {
+	const ws = 1 << 30
+	// Full residency: nothing to prefetch.
+	if got := PrefetchDepth(ws, ws, 4); got != 0 {
+		t.Fatalf("full-residency depth = %d, want 0", got)
+	}
+	if got := PrefetchDepth(0, 0, 4); got != 0 {
+		t.Fatalf("empty working set depth = %d, want 0", got)
+	}
+	// All-miss streaming sweep wants the full window.
+	if got := PrefetchDepth(ws, 0, 1); got != MaxPrefetchDepth {
+		t.Fatalf("all-miss depth = %d, want %d", got, MaxPrefetchDepth)
+	}
+	// A 50%-hit sweep wants roughly half the window.
+	if got := PrefetchDepth(ws, ws/2, 1); got != MaxPrefetchDepth/2 {
+		t.Fatalf("half-miss depth = %d, want %d", got, MaxPrefetchDepth/2)
+	}
+	// Near-full residency still keeps two tiles per worker in flight.
+	if got := PrefetchDepth(ws, ws-1, 3); got != 6 {
+		t.Fatalf("near-hit depth with 3 workers = %d, want 6", got)
+	}
+	// Worker floor never exceeds the max window.
+	if got := PrefetchDepth(ws, 0, 64); got != MaxPrefetchDepth {
+		t.Fatalf("many-worker depth = %d, want clamp at %d", got, MaxPrefetchDepth)
+	}
+	if got := PrefetchDepth(ws, ws-1, 0); got != MinPrefetchDepth {
+		t.Fatalf("degenerate worker count depth = %d, want %d", got, MinPrefetchDepth)
+	}
+}
+
+func TestPrefetchIODepth(t *testing.T) {
+	cases := []struct{ depth, batch, want int }{
+		{0, 4, 1},   // no window still keeps one op slot
+		{-3, 4, 1},  // degenerate
+		{4, 4, 1},   // one full batch
+		{5, 4, 2},   // ceil
+		{16, 4, 4},  // full window
+		{64, 4, 4},  // clamped
+		{3, 0, 3},   // degenerate batch size treated as 1
+		{100, 1, 4}, // clamped
+	}
+	for _, c := range cases {
+		if got := PrefetchIODepth(c.depth, c.batch); got != c.want {
+			t.Fatalf("PrefetchIODepth(%d, %d) = %d, want %d", c.depth, c.batch, got, c.want)
+		}
+	}
+}

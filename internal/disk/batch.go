@@ -1,0 +1,242 @@
+package disk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"slices"
+	"sync"
+)
+
+// Batched reads. The sweep-ahead prefetcher coalesces several tile loads
+// into one ReadBatch so the device model charges the per-operation latency
+// once per batch instead of once per tile — the payoff of coalescing on a
+// real disk. The blobs travel in a self-describing frame so the async
+// completion path can slice them back apart without copying:
+//
+//	[0xD4][uvarint count][uvarint len_0 .. len_{count-1}][payload_0 .. payload_{count-1}]
+//
+// AppendBatchFrame/DecodeBatchFrame are the (fuzzed) codec; ReadBatch is the
+// store-side producer; AsyncReader runs batches on background workers.
+
+// batchFrameMagic tags a batched-read frame.
+const batchFrameMagic = 0xD4
+
+// AppendBatchFrame appends a batch frame holding the given parts to dst and
+// returns the extended slice.
+func AppendBatchFrame(dst []byte, parts ...[]byte) []byte {
+	dst = append(dst, batchFrameMagic)
+	dst = binary.AppendUvarint(dst, uint64(len(parts)))
+	for _, p := range parts {
+		dst = binary.AppendUvarint(dst, uint64(len(p)))
+	}
+	for _, p := range parts {
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// uvarint decodes a canonical (minimal-length) unsigned varint. Padded
+// encodings (0x80 0x00 for zero) are rejected: an accepted frame must
+// re-encode byte-identically, which only holds when every varint has
+// exactly one valid form.
+func uvarint(b []byte) (uint64, int) {
+	v, n := binary.Uvarint(b)
+	if n > 1 && b[n-1] == 0 {
+		return 0, 0
+	}
+	return v, n
+}
+
+// DecodeBatchFrame splits a batch frame into its payloads. The returned
+// slices alias frame (zero copy); parts is reused as the backing slice when
+// it has capacity. Truncated or malformed frames return an error, never
+// panic — the framing is fuzzed.
+func DecodeBatchFrame(frame []byte, parts [][]byte) ([][]byte, error) {
+	if len(frame) == 0 || frame[0] != batchFrameMagic {
+		return nil, fmt.Errorf("disk: batch frame: bad magic")
+	}
+	rest := frame[1:]
+	count, n := uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("disk: batch frame: bad count")
+	}
+	rest = rest[n:]
+	if count > uint64(len(rest)) {
+		// Each payload needs at least one length byte; anything larger is
+		// a corrupt count, not a huge batch.
+		return nil, fmt.Errorf("disk: batch frame: count %d exceeds frame", count)
+	}
+	header := rest
+	var total uint64
+	for i := uint64(0); i < count; i++ {
+		size, n := uvarint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("disk: batch frame: bad length %d", i)
+		}
+		rest = rest[n:]
+		total += size
+		if total > uint64(len(frame)) {
+			return nil, fmt.Errorf("disk: batch frame: lengths overflow frame")
+		}
+	}
+	if uint64(len(rest)) != total {
+		return nil, fmt.Errorf("disk: batch frame: %d payload bytes, want %d", len(rest), total)
+	}
+	// Second varint pass binds each payload now that the lengths are known
+	// to be consistent; re-parsing is cheaper than materializing a lengths
+	// slice.
+	payload := rest
+	parts = parts[:0]
+	off := 0
+	rest = header
+	for i := uint64(0); i < count; i++ {
+		size, n := uvarint(rest)
+		rest = rest[n:]
+		end := off + int(size)
+		parts = append(parts, payload[off:end:end])
+		off = end
+	}
+	return parts, nil
+}
+
+// ReadBatch reads the named blobs as one coalesced device operation and
+// returns them packed in a batch frame appended to dst's spare capacity
+// (decode with DecodeBatchFrame). The device model charges one ReadOp and a
+// single ReadLatency for the whole batch; per-blob traffic is kept honest in
+// Counters.BatchedReads and ReadBytes. Any failure — injected or real — on
+// any member fails the whole batch.
+func (s *Store) ReadBatch(names []string, dst []byte) ([]byte, error) {
+	for _, name := range names {
+		if err := s.checkFail("read", name); err != nil {
+			return nil, err
+		}
+	}
+	// The handle scratch is pooled and releases are explicit (no deferred
+	// closure) to keep the steady-state batch read allocation-free — it
+	// runs on the prefetcher's workers, inside the hot loop's alloc budget.
+	hp := handlePool.Get().(*[]*cachedFile)
+	handles := (*hp)[:0]
+	var err error
+	total := 0
+	for _, name := range names {
+		var cf *cachedFile
+		if cf, err = s.openRead(name); err != nil {
+			err = fmt.Errorf("disk: reading %q: %w", name, err)
+			break
+		}
+		handles = append(handles, cf)
+		total += int(cf.size)
+	}
+	if err == nil {
+		s.beginOp()
+		start := len(dst)
+		dst = append(dst, batchFrameMagic)
+		dst = binary.AppendUvarint(dst, uint64(len(names)))
+		for _, cf := range handles {
+			dst = binary.AppendUvarint(dst, uint64(cf.size))
+		}
+		payloadAt := len(dst)
+		dst = slices.Grow(dst, total)[:payloadAt+total]
+		off := payloadAt
+		for i, cf := range handles {
+			size := int(cf.size)
+			var n int
+			if n, err = cf.f.ReadAt(dst[off:off+size], 0); n != size {
+				if err == nil || err == io.EOF {
+					err = io.ErrUnexpectedEOF
+				}
+				err = fmt.Errorf("disk: reading %q: %w", names[i], err)
+				break
+			}
+			err = nil
+			off += size
+		}
+		if err == nil {
+			s.reserve(total, s.cfg.ReadBandwidth, s.cfg.ReadLatency)
+			s.readBytes.Add(int64(total))
+			s.readOps.Add(1)
+			s.batchedReads.Add(int64(len(names)))
+		}
+		s.endOp()
+		if err == nil {
+			dst = dst[start:]
+		}
+	}
+	for _, cf := range handles {
+		s.releaseRead(cf)
+	}
+	*hp = handles[:0]
+	handlePool.Put(hp)
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// handlePool recycles the per-batch handle scratch across ReadBatch calls.
+var handlePool = sync.Pool{New: func() any { return new([]*cachedFile) }}
+
+// ReadOp is one asynchronous batched read. The caller owns Names and Buf
+// between Submit and the done callback; the reader fills Frame (a batch
+// frame appended to Buf[:0], aliasing Buf's backing array when it fits) or
+// Err. Tag carries caller context through the completion.
+type ReadOp struct {
+	Names []string
+	Buf   []byte
+	Frame []byte
+	Err   error
+	Tag   any
+}
+
+// AsyncReader runs batched reads on background workers so the superstep
+// loop can overlap disk time with compute. It is created once per server
+// and lives for the whole session — long-lived workers keep the steady
+// state allocation-free.
+type AsyncReader struct {
+	s    *Store
+	ops  chan *ReadOp
+	done func(*ReadOp)
+	wg   sync.WaitGroup
+}
+
+// NewAsyncReader starts depth workers issuing batches against the store.
+// done is called from a worker goroutine with each completed op. The
+// submission channel holds depth ops, so a caller that keeps at most depth
+// ops in flight never blocks in Submit — Submit is safe to call while
+// holding locks under that discipline.
+func (s *Store) NewAsyncReader(depth int, done func(*ReadOp)) *AsyncReader {
+	if depth < 1 {
+		depth = 1
+	}
+	r := &AsyncReader{s: s, ops: make(chan *ReadOp, depth), done: done}
+	r.wg.Add(depth)
+	for i := 0; i < depth; i++ {
+		go r.worker()
+	}
+	return r
+}
+
+func (r *AsyncReader) worker() {
+	defer r.wg.Done()
+	for op := range r.ops {
+		op.Frame, op.Err = r.s.ReadBatch(op.Names, op.Buf[:0])
+		if op.Err == nil && cap(op.Frame) > cap(op.Buf) {
+			op.Buf = op.Frame[:0]
+		}
+		r.done(op)
+	}
+}
+
+// Submit enqueues a batched read. See NewAsyncReader for the non-blocking
+// discipline.
+func (r *AsyncReader) Submit(op *ReadOp) {
+	r.ops <- op
+}
+
+// Close stops the workers after draining already-submitted ops (their done
+// callbacks still run).
+func (r *AsyncReader) Close() {
+	close(r.ops)
+	r.wg.Wait()
+}

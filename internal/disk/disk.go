@@ -10,6 +10,7 @@
 package disk
 
 import (
+	"container/list"
 	"fmt"
 	"io"
 	"os"
@@ -29,6 +30,18 @@ type Config struct {
 	// share the RAID array in the paper's testbed.
 	ReadBandwidth  int64
 	WriteBandwidth int64
+	// ReadLatency is a fixed per-operation cost charged on every read in
+	// addition to the bandwidth term — the seek/request overhead that makes
+	// many small reads slower than one coalesced read of the same bytes.
+	// ReadBatch pays it once for the whole batch, which is what makes
+	// coalescing worthwhile under the model. Zero (the default) charges
+	// nothing, preserving the pure-bandwidth model.
+	ReadLatency time.Duration
+	// MaxCachedFDs bounds the store's read-descriptor cache (0 means
+	// DefaultMaxCachedFDs). Least-recently-read handles are evicted when the
+	// cap is reached, so billion-edge tile counts cannot exhaust file
+	// descriptors while the hot set still reads through cached handles.
+	MaxCachedFDs int
 }
 
 // Counters reports accumulated disk traffic.
@@ -37,6 +50,15 @@ type Counters struct {
 	WriteBytes int64
 	ReadOps    int64
 	WriteOps   int64
+	// BatchedReads counts blobs served through ReadBatch (each batch is one
+	// ReadOp but reads many blobs; this counter keeps per-blob accounting).
+	BatchedReads int64
+	// QueuedOps counts operations that arrived while the simulated device
+	// was still busy with earlier transfers; QueueHighWater is the largest
+	// number of operations ever simultaneously in flight (queued + active).
+	// Together they expose how deep the IO pipeline actually ran.
+	QueuedOps      int64
+	QueueHighWater int64
 }
 
 // Store is a directory-backed, bandwidth-throttled blob store. It is safe
@@ -46,10 +68,14 @@ type Store struct {
 	dir string
 	cfg Config
 
-	readBytes  atomic.Int64
-	writeBytes atomic.Int64
-	readOps    atomic.Int64
-	writeOps   atomic.Int64
+	readBytes    atomic.Int64
+	writeBytes   atomic.Int64
+	readOps      atomic.Int64
+	writeOps     atomic.Int64
+	batchedReads atomic.Int64
+	queuedOps    atomic.Int64
+	inflightOps  atomic.Int64
+	queueHW      atomic.Int64
 
 	// busyUntil implements the shared-bandwidth model: each transfer
 	// reserves a slot [busyUntil, busyUntil+duration) on the device and
@@ -64,28 +90,44 @@ type Store struct {
 
 	// fds caches open read handles: tile blobs are written once and then
 	// re-read every superstep, so keeping the descriptor open turns each
-	// load into a single pread instead of open+stat+read+close. Bounded by
-	// maxCachedFDs; blobs beyond that fall back to transient opens.
-	fdMu sync.Mutex
-	fds  map[string]*cachedFile
+	// load into a single pread instead of open+stat+read+close. The cache is
+	// a true LRU bounded by Config.MaxCachedFDs: inserting at the cap evicts
+	// the least-recently-read handle, so the hot set always reads through a
+	// cached descriptor regardless of which blobs happened to load first
+	// (migrated-in tiles included).
+	fdMu  sync.Mutex
+	fds   map[string]*cachedFile
+	fdLRU *list.List // front = most recently read
+	fdCap int
 }
 
 // cachedFile is one cached read handle with its (immutable-until-rewritten)
-// size.
+// size and its position in the recency list. refs (guarded by fdMu) counts
+// one reference for cache residency plus one per in-flight read, so an
+// eviction or invalidation never closes a descriptor under an active pread
+// — the last reference out closes it.
 type cachedFile struct {
 	f    *os.File
 	size int64
+	name string
+	elem *list.Element
+	refs int
 }
 
-// maxCachedFDs bounds the per-store descriptor cache.
-const maxCachedFDs = 256
+// DefaultMaxCachedFDs is the descriptor-cache bound when Config leaves
+// MaxCachedFDs zero.
+const DefaultMaxCachedFDs = 256
 
 // NewStore creates a store rooted at dir, creating the directory if needed.
 func NewStore(dir string, cfg Config) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("disk: creating store dir: %w", err)
 	}
-	return &Store{dir: dir, cfg: cfg, fds: make(map[string]*cachedFile)}, nil
+	cap := cfg.MaxCachedFDs
+	if cap <= 0 {
+		cap = DefaultMaxCachedFDs
+	}
+	return &Store{dir: dir, cfg: cfg, fds: make(map[string]*cachedFile), fdLRU: list.New(), fdCap: cap}, nil
 }
 
 // Close releases all cached read handles. The store remains usable; later
@@ -95,20 +137,28 @@ func (s *Store) Close() error {
 	defer s.fdMu.Unlock()
 	var first error
 	for name, cf := range s.fds {
-		if err := cf.f.Close(); err != nil && first == nil {
-			first = err
-		}
 		delete(s.fds, name)
+		cf.refs--
+		if cf.refs == 0 {
+			if err := cf.f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
 	}
+	s.fdLRU.Init()
 	return first
 }
 
 // invalidate drops a cached handle after its blob is replaced or removed.
+// An in-flight read keeps the descriptor alive until it releases it.
 func (s *Store) invalidate(name string) {
 	s.fdMu.Lock()
 	cf, ok := s.fds[name]
 	if ok {
 		delete(s.fds, name)
+		s.fdLRU.Remove(cf.elem)
+		cf.refs--
+		ok = cf.refs == 0
 	}
 	s.fdMu.Unlock()
 	if ok {
@@ -116,44 +166,85 @@ func (s *Store) invalidate(name string) {
 	}
 }
 
-// openRead returns a read handle and size for the named blob, caching the
-// first maxCachedFDs handles. transient reports whether the caller must
-// close the handle. The blob path is only materialized on a descriptor-cache
-// miss, keeping warm reads allocation-free.
-func (s *Store) openRead(name string) (cf *cachedFile, transient bool, err error) {
+// openRead returns a referenced read handle for the named blob through the
+// LRU descriptor cache: a hit refreshes the handle's recency, a miss opens
+// the blob and caches the handle, evicting the least-recently-read one when
+// the cache is at capacity. The caller must release the handle with
+// releaseRead after its pread. The blob path is only materialized on a
+// descriptor-cache miss, keeping warm reads allocation-free.
+func (s *Store) openRead(name string) (*cachedFile, error) {
 	s.fdMu.Lock()
-	cf, ok := s.fds[name]
-	s.fdMu.Unlock()
-	if ok {
-		return cf, false, nil
+	if cf, ok := s.fds[name]; ok {
+		s.fdLRU.MoveToFront(cf.elem)
+		cf.refs++
+		s.fdMu.Unlock()
+		return cf, nil
 	}
+	s.fdMu.Unlock()
 	path, err := s.path(name)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	info, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, false, err
+		return nil, err
 	}
-	cf = &cachedFile{f: f, size: info.Size()}
+	cf := &cachedFile{f: f, size: info.Size(), name: name}
+	var evicted *cachedFile
 	s.fdMu.Lock()
 	if prev, ok := s.fds[name]; ok {
+		// Lost an open race: reuse the winner's handle.
+		s.fdLRU.MoveToFront(prev.elem)
+		prev.refs++
 		s.fdMu.Unlock()
 		f.Close()
-		return prev, false, nil
+		return prev, nil
 	}
-	if len(s.fds) < maxCachedFDs {
-		s.fds[name] = cf
-		s.fdMu.Unlock()
-		return cf, false, nil
+	if len(s.fds) >= s.fdCap {
+		if back := s.fdLRU.Back(); back != nil {
+			evicted = back.Value.(*cachedFile)
+			delete(s.fds, evicted.name)
+			s.fdLRU.Remove(back)
+			evicted.refs--
+			if evicted.refs > 0 {
+				evicted = nil // an active reader holds it; it closes on release
+			}
+		}
 	}
+	cf.refs = 2 // the cache's residency reference plus the caller's
+	cf.elem = s.fdLRU.PushFront(cf)
+	s.fds[name] = cf
 	s.fdMu.Unlock()
-	return cf, true, nil
+	if evicted != nil {
+		evicted.f.Close()
+	}
+	return cf, nil
+}
+
+// releaseRead returns a handle obtained from openRead; the last reference
+// out (an evicted or invalidated handle with no remaining readers) closes
+// the descriptor.
+func (s *Store) releaseRead(cf *cachedFile) {
+	s.fdMu.Lock()
+	cf.refs--
+	dead := cf.refs == 0
+	s.fdMu.Unlock()
+	if dead {
+		cf.f.Close()
+	}
+}
+
+// cachedFDs reports the current fd-cache population (test hook for the
+// MaxCachedFDs bound).
+func (s *Store) cachedFDs() int {
+	s.fdMu.Lock()
+	defer s.fdMu.Unlock()
+	return len(s.fds)
 }
 
 // Dir returns the backing directory.
@@ -180,16 +271,24 @@ func (s *Store) checkFail(op, name string) error {
 	return nil
 }
 
-// throttle blocks until the simulated device has transferred n bytes at the
-// given bandwidth. With bandwidth 0 it returns immediately.
-func (s *Store) throttle(n int, bandwidth int64) {
-	if bandwidth <= 0 || n == 0 {
+// reserve blocks until the simulated device has transferred n bytes at the
+// given bandwidth plus the fixed per-operation latency. Operations arriving
+// while the device is still busy with earlier reservations are counted as
+// queued. With bandwidth 0 and latency 0 it returns immediately — the
+// unthrottled model has no device to queue on.
+func (s *Store) reserve(n int, bandwidth int64, latency time.Duration) {
+	d := latency
+	if bandwidth > 0 && n > 0 {
+		d += time.Duration(float64(n) / float64(bandwidth) * float64(time.Second))
+	}
+	if d <= 0 {
 		return
 	}
-	d := time.Duration(float64(n) / float64(bandwidth) * float64(time.Second))
 	s.mu.Lock()
 	now := time.Now()
-	if s.busyUntil.Before(now) {
+	if s.busyUntil.After(now) {
+		s.queuedOps.Add(1)
+	} else {
 		s.busyUntil = now
 	}
 	s.busyUntil = s.busyUntil.Add(d)
@@ -197,6 +296,21 @@ func (s *Store) throttle(n int, bandwidth int64) {
 	s.mu.Unlock()
 	time.Sleep(time.Until(wakeAt))
 }
+
+// beginOp and endOp bracket every throttled operation, maintaining the
+// in-flight count and its high-water mark so stats expose how deep the IO
+// pipeline actually ran.
+func (s *Store) beginOp() {
+	n := s.inflightOps.Add(1)
+	for {
+		hw := s.queueHW.Load()
+		if n <= hw || s.queueHW.CompareAndSwap(hw, n) {
+			return
+		}
+	}
+}
+
+func (s *Store) endOp() { s.inflightOps.Add(-1) }
 
 func (s *Store) path(name string) (string, error) {
 	if strings.Contains(name, "..") || strings.HasPrefix(name, "/") {
@@ -220,7 +334,9 @@ func (s *Store) Write(name string, data []byte) error {
 		}
 	}
 	s.invalidate(name)
-	s.throttle(len(data), s.cfg.WriteBandwidth)
+	s.beginOp()
+	defer s.endOp()
+	s.reserve(len(data), s.cfg.WriteBandwidth, 0)
 	if err := os.WriteFile(p, data, 0o644); err != nil {
 		return fmt.Errorf("disk: writing %q: %w", name, err)
 	}
@@ -248,7 +364,9 @@ func (s *Store) WriteAtomic(name string, data []byte) error {
 		}
 	}
 	s.invalidate(name)
-	s.throttle(len(data), s.cfg.WriteBandwidth)
+	s.beginOp()
+	defer s.endOp()
+	s.reserve(len(data), s.cfg.WriteBandwidth, 0)
 	tmp := p + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return fmt.Errorf("disk: writing %q: %w", name, err)
@@ -276,13 +394,13 @@ func (s *Store) ReadInto(name string, dst []byte) ([]byte, error) {
 	if err := s.checkFail("read", name); err != nil {
 		return nil, err
 	}
-	cf, transient, err := s.openRead(name)
+	cf, err := s.openRead(name)
 	if err != nil {
 		return nil, fmt.Errorf("disk: reading %q: %w", name, err)
 	}
-	if transient {
-		defer cf.f.Close()
-	}
+	defer s.releaseRead(cf)
+	s.beginOp()
+	defer s.endOp()
 	start := len(dst)
 	size := int(cf.size)
 	dst = slices.Grow(dst, size)[:start+size]
@@ -293,7 +411,7 @@ func (s *Store) ReadInto(name string, dst []byte) ([]byte, error) {
 		return nil, fmt.Errorf("disk: reading %q: %w", name, err)
 	}
 	data := dst[start:]
-	s.throttle(len(data), s.cfg.ReadBandwidth)
+	s.reserve(len(data), s.cfg.ReadBandwidth, s.cfg.ReadLatency)
 	s.readBytes.Add(int64(len(data)))
 	s.readOps.Add(1)
 	return data, nil
@@ -359,17 +477,25 @@ func (s *Store) List(prefix string) ([]string, error) {
 // Counters returns a snapshot of accumulated traffic.
 func (s *Store) Counters() Counters {
 	return Counters{
-		ReadBytes:  s.readBytes.Load(),
-		WriteBytes: s.writeBytes.Load(),
-		ReadOps:    s.readOps.Load(),
-		WriteOps:   s.writeOps.Load(),
+		ReadBytes:      s.readBytes.Load(),
+		WriteBytes:     s.writeBytes.Load(),
+		ReadOps:        s.readOps.Load(),
+		WriteOps:       s.writeOps.Load(),
+		BatchedReads:   s.batchedReads.Load(),
+		QueuedOps:      s.queuedOps.Load(),
+		QueueHighWater: s.queueHW.Load(),
 	}
 }
 
-// ResetCounters zeroes the traffic counters (e.g. between supersteps).
+// ResetCounters zeroes the traffic counters (e.g. between supersteps). The
+// queue high-water restarts from the currently in-flight depth, not zero, so
+// an op spanning the reset is still accounted.
 func (s *Store) ResetCounters() {
 	s.readBytes.Store(0)
 	s.writeBytes.Store(0)
 	s.readOps.Store(0)
 	s.writeOps.Store(0)
+	s.batchedReads.Store(0)
+	s.queuedOps.Store(0)
+	s.queueHW.Store(s.inflightOps.Load())
 }

@@ -28,10 +28,13 @@ func TestEngineConfigMapsEveryKnob(t *testing.T) {
 		Transport:           TransportTCP,
 		DiskReadBandwidth:   1e6,
 		DiskWriteBandwidth:  2e6,
+		DiskReadLatency:     2 * time.Millisecond,
 		NetBandwidth:        3e6,
 		CacheCapacity:       4096,
 		CacheMode:           &zlib1,
 		CachePolicy:         &lru,
+		PrefetchDepth:       7,
+		Residency:           ResidencyStreaming,
 		MessageCodec:        &snappy,
 		OnDemandReplication: true,
 		DisableBloomSkip:    true,
@@ -58,6 +61,9 @@ func TestEngineConfigMapsEveryKnob(t *testing.T) {
 		{"Transport", cfg.Transport, cluster.TCP},
 		{"Disk.ReadBandwidth", cfg.Disk.ReadBandwidth, int64(1e6)},
 		{"Disk.WriteBandwidth", cfg.Disk.WriteBandwidth, int64(2e6)},
+		{"Disk.ReadLatency", cfg.Disk.ReadLatency, 2 * time.Millisecond},
+		{"PrefetchDepth", cfg.PrefetchDepth, 7},
+		{"Residency", cfg.Residency, core.ResidencyStreaming},
 		{"NetBandwidth", cfg.NetBandwidth, int64(3e6)},
 		{"CacheCapacity", cfg.CacheCapacity, int64(4096)},
 		{"CacheAuto", cfg.CacheAuto, false},
@@ -111,6 +117,12 @@ func TestEngineConfigAutoSelectDefaults(t *testing.T) {
 	}
 	if cfg.Lockstep {
 		t.Error("pipelined communication must default on")
+	}
+	if cfg.PrefetchDepth != 0 {
+		t.Errorf("prefetch depth must default to automatic sizing, got %d", cfg.PrefetchDepth)
+	}
+	if cfg.Residency != core.ResidencyAuto {
+		t.Errorf("residency must default to auto, got %v", cfg.Residency)
 	}
 }
 
