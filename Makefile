@@ -21,10 +21,12 @@ test:
 # ci is the tier-1 verify: everything must build, vet clean and pass.
 ci: build vet test
 
-# race runs the cluster, core and disk suites — the packages with real
-# cross-goroutine traffic (pipelined sender, receive loop, worker pools,
-# the sweep-ahead prefetcher and the async batched reader) — under the
-# race detector.
+# race runs the cluster, core, disk and cache suites — the packages with
+# real cross-goroutine traffic (pipelined sender, receive loop, worker
+# pools, the sweep-ahead prefetcher, the async batched reader, and the
+# multi-tenant session: concurrent Submits, the admission controller, the
+# share window and the per-job frame router; the concurrent-stress test
+# raises GOMAXPROCS to at least 4 itself) — under the race detector.
 race:
 	$(GO) test -race -count=1 ./internal/cluster/ ./internal/core/ ./internal/disk/ ./internal/cache/
 
@@ -33,10 +35,10 @@ race:
 check: ci race chaos fuzz-ci docs-check api-check bench-smoke
 
 # chaos runs the fault-injection and crash-recovery suite under the race
-# detector: the crash-at-every-superstep sweep, hang detection, wire
-# drop/duplicate tolerance, session death semantics and the disk failure
-# hooks. Every test asserts recovered results are bit-identical to the
-# fault-free run.
+# detector: the crash-at-every-superstep sweep (serial and with two
+# concurrent jobs in flight), hang detection, wire drop/duplicate
+# tolerance, session death semantics and the disk failure hooks. Every
+# test asserts recovered results are bit-identical to the fault-free run.
 chaos:
 	$(GO) test -race -count=1 \
 		-run 'Recovery|Fault|Wire|Kill|Checkpoint|SessionRecovers|SessionDead|AllServersDie' \
@@ -45,11 +47,14 @@ chaos:
 # bench-smoke is the fast perf sanity pass: the skewed-partition
 # rebalancing experiment at a tiny scale (exercises migration end to end
 # and checks bit-identical results), the smallest point of the out-of-core
-# sweep (prefetch off vs on at a 25% cache budget), plus the allocation
-# guards on the pipelined send, receive and prefetch-hit paths.
+# sweep (prefetch off vs on at a 25% cache budget), the two-job
+# multi-tenant session vs back-to-back (checks bit-identity and that the
+# shared sweep beats serial), plus the allocation guards on the pipelined
+# send, receive and prefetch-hit paths.
 bench-smoke:
 	GRAPHH_BENCH_SCALE=0.05 $(GO) run ./cmd/graphh-bench -exp skew -supersteps 8
 	GRAPHH_BENCH_SCALE=0.05 GRAPHH_OOC_BUDGETS=25 $(GO) run ./cmd/graphh-bench -exp ooc -supersteps 6
+	GRAPHH_BENCH_SCALE=0.05 $(GO) run ./cmd/graphh-bench -exp multijob -supersteps 8
 	$(GO) test ./internal/cluster/ -run TestRecvSteadyStateAllocs -count=1
 	$(GO) test ./internal/core/ -run 'TestProcessTileSteadyStateAllocs|TestPrefetchSteadyStateAllocs' -count=1
 	$(GO) test ./internal/core/ -run xxx -bench BenchmarkRecovery4Servers -benchtime 1x -count=1
@@ -101,5 +106,6 @@ fuzz:
 fuzz-ci:
 	$(GO) test ./internal/csr/ -run xxx -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/comm/ -run xxx -fuzz FuzzDecodeInto -fuzztime 10s
+	$(GO) test ./internal/comm/ -run xxx -fuzz FuzzDecodeJobFrame -fuzztime 10s
 	$(GO) test ./internal/core/ -run xxx -fuzz FuzzDecodeRebalance -fuzztime 10s
 	$(GO) test ./internal/disk/ -run xxx -fuzz FuzzDecodeBatchFrame -fuzztime 10s

@@ -4,13 +4,17 @@
 // simulated servers exactly once; PageRank, SSSP and WCC then run
 // back-to-back against the warm tile stores and edge caches, with live
 // per-superstep progress streamed from the coordinator, and the third job
-// is cancelled mid-flight to show that the session survives.
+// is cancelled mid-flight to show that the session survives. The session
+// is opened multi-tenant (MaxConcurrentJobs: 2), so the final pair of
+// jobs is submitted concurrently: their supersteps interleave and tiles
+// swept by both are read from disk once, not twice.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	graphh "repro"
@@ -28,7 +32,7 @@ func main() {
 	}
 
 	start := time.Now()
-	s, err := graphh.Open(p, graphh.Options{Servers: 4})
+	s, err := graphh.Open(p, graphh.Options{Servers: 4, MaxConcurrentJobs: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,4 +81,35 @@ func main() {
 	}
 	fmt.Printf("wcc:      %d steps in %v (session healthy after cancel)\n",
 		wcc.Supersteps, wcc.Duration.Round(time.Millisecond))
+
+	// Jobs 5+6: concurrent tenants. Both Submits are in flight at once;
+	// the session interleaves their supersteps with weighted round-robin
+	// fairness and results stay bit-identical to a solo run. Weight: 2
+	// gives PageRank twice WCC's share at contended step edges.
+	var wg sync.WaitGroup
+	wall := time.Now()
+	var ranks2, wcc2 *graphh.Result
+	var prErr, wccErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		ranks2, prErr = s.Submit(context.Background(), graphh.NewPageRank(),
+			graphh.RunOptions{MaxSupersteps: 15, Weight: 2})
+	}()
+	go func() {
+		defer wg.Done()
+		wcc2, wccErr = s.Submit(context.Background(), graphh.NewWCC(), graphh.RunOptions{})
+	}()
+	wg.Wait()
+	if prErr != nil || wccErr != nil {
+		log.Fatal(prErr, wccErr)
+	}
+	var shared int64
+	for _, res := range []*graphh.Result{ranks2, wcc2} {
+		for _, sv := range res.Servers {
+			shared += sv.SharedTileLoads
+		}
+	}
+	fmt.Printf("pagerank+wcc concurrently: %d+%d steps in %v wall, %d tile loads shared\n",
+		ranks2.Supersteps, wcc2.Supersteps, time.Since(wall).Round(time.Millisecond), shared)
 }

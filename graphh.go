@@ -205,6 +205,10 @@ var (
 	// job's hard error killed the session; the wrapped chain still
 	// carries the original cause.
 	ErrSessionDead = core.ErrSessionDead
+	// ErrJobQueueFull marks Submits a multi-tenant session sheds because
+	// MaxConcurrentJobs jobs are running and the admission queue is at
+	// capacity. Nothing was enqueued; retry later or raise MaxQueuedJobs.
+	ErrJobQueueFull = core.ErrJobQueueFull
 )
 
 // LoadCSV reads a tab/space-separated edge list ("src dst [weight]"; # and %
@@ -342,6 +346,20 @@ type Options struct {
 	// replication and disables the rebalancer for checkpointed jobs.
 	// Per-job override: RunOptions.CheckpointEvery.
 	CheckpointEvery int
+	// MaxConcurrentJobs, when > 1, makes the session multi-tenant: up to
+	// that many Submits run interleaved over the shared tile stores and
+	// caches, each tagged with a per-job ID so their wire traffic,
+	// barriers and checkpoints never alias. Two jobs sweeping the same
+	// graph share tile disk reads (single-flight cache loads plus the
+	// cross-job share window); fairness at superstep edges is weighted
+	// round-robin over RunOptions.Weight. Values ≤ 1 keep the classic
+	// serial session. Multi-tenant sessions run without the sweep-ahead
+	// prefetcher and the dynamic rebalancer.
+	MaxConcurrentJobs int
+	// MaxQueuedJobs bounds how many Submits may wait for admission when
+	// MaxConcurrentJobs jobs are already running; further Submits fail
+	// fast with ErrJobQueueFull. 0 picks a bound from the run level.
+	MaxQueuedJobs int
 	// FailureTimeout arms the failure detector: a server whose barrier
 	// vote or update traffic stalls this long is declared dead by the
 	// survivors. 0 leaves only self-declared crashes detectable.
@@ -401,6 +419,8 @@ func (o Options) engineConfig() (core.Config, error) {
 	}
 	cfg.RebalanceRatio = o.RebalanceRatio
 	cfg.CheckpointEvery = o.CheckpointEvery
+	cfg.MaxConcurrentJobs = o.MaxConcurrentJobs
+	cfg.MaxQueuedJobs = o.MaxQueuedJobs
 	cfg.FailureTimeout = o.FailureTimeout
 	cfg.Faults = o.Faults
 	cfg.WorkDir = o.WorkDir
@@ -434,6 +454,11 @@ type RunOptions struct {
 	// 0 inherits, negative disables checkpointing for this job, positive
 	// checkpoints every that-many supersteps.
 	CheckpointEvery int
+	// Weight is this job's weighted-round-robin share in a multi-tenant
+	// session (Options.MaxConcurrentJobs > 1): at contended superstep
+	// edges a weight-2 job is serviced twice as often as a weight-1 job.
+	// 0 or negative means 1; serial sessions ignore it.
+	Weight int
 }
 
 // Session is a persistent GraphH deployment: a booted simulated cluster
@@ -443,8 +468,12 @@ type RunOptions struct {
 // with zero re-partitioning and cache epochs carried across jobs), and
 // Close it when done.
 //
-// A Session is safe for concurrent use, but jobs serialize: the BSP
-// superstep loop owns the whole cluster while it runs.
+// A Session is safe for concurrent use. By default jobs serialize (the BSP
+// superstep loop owns the whole cluster while it runs); opened with
+// Options.MaxConcurrentJobs > 1 the session is multi-tenant instead — up to
+// that many Submits interleave superstep-by-superstep, sharing tile disk
+// reads, with weighted round-robin fairness and identical (bit-for-bit)
+// per-job results either way.
 type Session struct {
 	s *core.Session
 }
@@ -483,6 +512,7 @@ func (s *Session) Submit(ctx context.Context, prog Program, ro RunOptions) (*Res
 		MsgCodec:        ro.MessageCodec,
 		Progress:        ro.Progress,
 		CheckpointEvery: ro.CheckpointEvery,
+		Weight:          ro.Weight,
 	})
 }
 

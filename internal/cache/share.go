@@ -1,0 +1,133 @@
+package cache
+
+import (
+	"sync"
+
+	"repro/internal/csr"
+)
+
+// ShareWindow is the cross-job tile-sharing window of a multi-tenant
+// session. Two jobs sweeping the same graph visit the same tiles in the
+// same cyclic order; when a tile misses the shared cache (declined
+// admission, streaming residency), the job that paid the disk read offers a
+// clone here, tagged with a refcount bitmask naming the other in-flight
+// jobs. Each of those jobs takes the tile once — clearing its bit — and the
+// entry is dropped when the mask empties, so the window holds a tile only
+// for the gap between the leading job's sweep and the laggards'.
+//
+// The window is strictly non-blocking: a full window skips the offer (the
+// lagging job falls back to its own disk read), so no job ever waits on
+// another job's pace — sharing degrades, it never deadlocks. Together with
+// the cache's single-flight LoadInto (which already merges *concurrent*
+// misses for the same tile), this is how two jobs pay one disk read for one
+// shared sweep.
+type ShareWindow struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[int]*shareEntry
+
+	offers int64
+	hits   int64
+	skips  int64
+}
+
+type shareEntry struct {
+	tile *csr.Tile
+	refs uint64 // bitmask of job slots that have not taken the tile yet
+}
+
+// NewShareWindow returns a window holding at most capTiles tiles.
+// A non-positive capacity yields a window that skips every offer.
+func NewShareWindow(capTiles int) *ShareWindow {
+	return &ShareWindow{cap: capTiles, entries: make(map[int]*shareEntry)}
+}
+
+// Offer publishes a tile for the consumer slots in mask (a bit per job
+// slot, the offering job excluded). The tile must be immutable and owned by
+// the window's consumers — callers clone scratch-backed tiles before
+// offering. Returns whether the tile was retained. An empty mask, a
+// duplicate id, or a full window skips the offer.
+func (w *ShareWindow) Offer(id int, t *csr.Tile, mask uint64) bool {
+	if t == nil || mask == 0 {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.offers++
+	if _, dup := w.entries[id]; dup {
+		return false
+	}
+	if len(w.entries) >= w.cap {
+		w.skips++
+		return false
+	}
+	w.entries[id] = &shareEntry{tile: t, refs: mask}
+	return true
+}
+
+// Accepting reports whether an Offer for id would currently be retained —
+// an advisory pre-check so callers can skip cloning a tile the window would
+// drop anyway. The answer can go stale before the Offer lands; that only
+// costs a wasted clone or a skipped share, never correctness.
+func (w *ShareWindow) Accepting(id int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.entries[id]; dup {
+		return false
+	}
+	return len(w.entries) < w.cap
+}
+
+// Take returns the tile offered for id if slot's bit is still set, clearing
+// the bit; the last consumer drops the entry. The returned tile is shared
+// and read-only.
+func (w *ShareWindow) Take(id int, slot uint64) (*csr.Tile, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e, ok := w.entries[id]
+	if !ok || e.refs&slot == 0 {
+		return nil, false
+	}
+	e.refs &^= slot
+	t := e.tile
+	if e.refs == 0 {
+		delete(w.entries, id)
+	}
+	w.hits++
+	return t, true
+}
+
+// DropConsumer clears slot's bit from every resident entry — called when a
+// job finishes so its unconsumed offers stop pinning window capacity.
+func (w *ShareWindow) DropConsumer(slot uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for id, e := range w.entries {
+		e.refs &^= slot
+		if e.refs == 0 {
+			delete(w.entries, id)
+		}
+	}
+}
+
+// Len returns the number of resident entries.
+func (w *ShareWindow) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.entries)
+}
+
+// ShareStats is a snapshot of the window's counters.
+type ShareStats struct {
+	// Offers counts Offer calls; Skips the offers declined for capacity;
+	// Hits the successful Takes (each one is a disk read a lagging job did
+	// not pay).
+	Offers, Skips, Hits int64
+}
+
+// Stats returns a snapshot of the window's counters.
+func (w *ShareWindow) Stats() ShareStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return ShareStats{Offers: w.offers, Skips: w.skips, Hits: w.hits}
+}

@@ -1,0 +1,119 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/csr"
+)
+
+func shareTile(t *testing.T, id int) *csr.Tile {
+	t.Helper()
+	return &csr.Tile{
+		ID: uint32(id), TargetLo: 0, TargetHi: 2, NumVertices: 8,
+		Row: []uint32{0, 1, 1}, Col: []uint32{3},
+	}
+}
+
+func TestShareWindowOfferTake(t *testing.T) {
+	w := NewShareWindow(4)
+	tl := shareTile(t, 1)
+	const slotA, slotB = 1 << 0, 1 << 1
+
+	if !w.Offer(1, tl, slotA|slotB) {
+		t.Fatal("offer declined with free capacity")
+	}
+	got, ok := w.Take(1, slotA)
+	if !ok || got != tl {
+		t.Fatalf("take A = (%p,%v), want (%p,true)", got, ok, tl)
+	}
+	// Second take by the same slot misses: the bit was cleared.
+	if _, ok := w.Take(1, slotA); ok {
+		t.Fatal("double take by one slot succeeded")
+	}
+	if w.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (slot B pending)", w.Len())
+	}
+	if _, ok := w.Take(1, slotB); !ok {
+		t.Fatal("take B missed")
+	}
+	if w.Len() != 0 {
+		t.Fatalf("len = %d, want 0 after last consumer", w.Len())
+	}
+	if s := w.Stats(); s.Hits != 2 || s.Offers != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestShareWindowNonBlockingWhenFull(t *testing.T) {
+	w := NewShareWindow(2)
+	for id := 0; id < 2; id++ {
+		if !w.Offer(id, shareTile(t, id), 1) {
+			t.Fatalf("offer %d declined", id)
+		}
+	}
+	// Full: the offer is skipped, never blocked.
+	if w.Offer(2, shareTile(t, 2), 1) {
+		t.Fatal("offer accepted past capacity")
+	}
+	if s := w.Stats(); s.Skips != 1 {
+		t.Fatalf("skips = %d, want 1", s.Skips)
+	}
+	// Duplicate ids are skipped too.
+	if w.Offer(0, shareTile(t, 0), 1) {
+		t.Fatal("duplicate offer accepted")
+	}
+	// Empty masks never pin capacity.
+	w.Take(0, 1)
+	if w.Offer(3, shareTile(t, 3), 0) {
+		t.Fatal("empty-mask offer accepted")
+	}
+}
+
+func TestShareWindowDropConsumer(t *testing.T) {
+	w := NewShareWindow(8)
+	const slotA, slotB = 1 << 2, 1 << 3
+	w.Offer(1, shareTile(t, 1), slotA|slotB)
+	w.Offer(2, shareTile(t, 2), slotA)
+	// Job A exits: its pending refs vanish; entry 2 (A-only) is dropped.
+	w.DropConsumer(slotA)
+	if w.Len() != 1 {
+		t.Fatalf("len = %d, want 1", w.Len())
+	}
+	if _, ok := w.Take(1, slotA); ok {
+		t.Fatal("dropped consumer still took a tile")
+	}
+	if _, ok := w.Take(1, slotB); !ok {
+		t.Fatal("surviving consumer lost its ref")
+	}
+	if w.Len() != 0 {
+		t.Fatalf("len = %d, want 0", w.Len())
+	}
+}
+
+// TestShareWindowConcurrent hammers the window from several goroutines so
+// `make race` covers the locking.
+func TestShareWindowConcurrent(t *testing.T) {
+	w := NewShareWindow(16)
+	tiles := make([]*csr.Tile, 64)
+	for i := range tiles {
+		tiles[i] = shareTile(t, i)
+	}
+	var wg sync.WaitGroup
+	for slot := 0; slot < 4; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			bit := uint64(1) << slot
+			others := uint64(0xF) &^ bit
+			for i, tl := range tiles {
+				w.Offer(i, tl, others)
+				if got, ok := w.Take(i, bit); ok && got != tiles[i] {
+					t.Errorf("slot %d took wrong tile for id %d", slot, i)
+				}
+			}
+			w.DropConsumer(bit)
+		}(slot)
+	}
+	wg.Wait()
+}

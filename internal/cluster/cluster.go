@@ -257,6 +257,14 @@ type Cluster struct {
 	// fault-injection hook. Called from transport-writing goroutines, so it
 	// must be safe for concurrent use.
 	wireHook atomic.Value // func(from, to, size int) WireAction
+
+	// jobBars holds one barrier per in-flight job of a multi-tenant session,
+	// keyed by job ID and created lazily on first use. Guarded by membMu so
+	// creation, deposal on a death, and the break-on-abort sweep can never
+	// miss each other; jobsBroken makes barriers created after an abort be
+	// born broken.
+	jobBars    map[uint32]*reusableBarrier
+	jobsBroken bool
 }
 
 // New creates a cluster with the given configuration.
@@ -281,6 +289,7 @@ func New(cfg Config) (*Cluster, error) {
 		netBusy:  make([]time.Time, cfg.NumNodes),
 		alive:    make([]atomic.Bool, cfg.NumNodes),
 		acked:    make([]atomic.Uint64, cfg.NumNodes),
+		jobBars:  make(map[uint32]*reusableBarrier),
 	}
 	for i := range c.alive {
 		c.alive[i].Store(true)
@@ -363,10 +372,46 @@ func (c *Cluster) declareDead(rank int) {
 	old := c.epochCh.Load().(chan struct{})
 	c.epochCh.Store(make(chan struct{}))
 	// Depose inside membMu so a node can never observe the new epoch via
-	// AckMembership while the barrier still carries the old one.
+	// AckMembership while the barrier still carries the old one. Every
+	// per-job barrier learns of the death the same instant.
 	c.bar.depose(rank, epoch)
+	for _, b := range c.jobBars {
+		b.depose(rank, epoch)
+	}
 	c.membMu.Unlock()
 	close(old)
+}
+
+// jobBarrier returns the barrier for job, creating it on first use with the
+// current membership view (a job admitted after a death synchronizes only
+// the survivors) and the current epoch. A barrier requested after the
+// cluster aborted is born broken, mirroring the main barrier's state.
+func (c *Cluster) jobBarrier(job uint32) *reusableBarrier {
+	c.membMu.Lock()
+	defer c.membMu.Unlock()
+	if b, ok := c.jobBars[job]; ok {
+		return b
+	}
+	b := newReusableBarrier(c.cfg.NumNodes)
+	for i := range b.alive {
+		if !c.alive[i].Load() {
+			b.alive[i] = false
+			b.n--
+		}
+	}
+	b.epoch = c.epochAt.Load()
+	b.broken = c.jobsBroken
+	c.jobBars[job] = b
+	return b
+}
+
+// ReleaseJobBarrier forgets the barrier for a completed job. Callers must
+// ensure no node will synchronize on the job again (a later request with the
+// same ID would create a fresh barrier and hang its first waiter).
+func (c *Cluster) ReleaseJobBarrier(job uint32) {
+	c.membMu.Lock()
+	delete(c.jobBars, job)
+	c.membMu.Unlock()
 }
 func (c *Cluster) NodeMetrics(i int) Metrics {
 	return Metrics{
@@ -724,9 +769,24 @@ func (n *Node) BarrierErr() error {
 // returns ErrMembershipChanged. A broken (aborted) barrier still returns
 // (true, nil), mirroring BarrierVote.
 func (n *Node) BarrierVoteErr(flag bool) (bool, error) {
+	return n.barrierVoteOn(n.c.bar, flag)
+}
+
+// barrierVoteOn runs the vote-with-failure-detection loop against one
+// barrier — the main barrier or a per-job one; the accusation protocol is
+// identical for both.
+func (n *Node) barrierVoteOn(b *reusableBarrier, flag bool) (bool, error) {
+	return n.barrierVoteOnAcked(b, flag, n.c.acked[n.id].Load())
+}
+
+// barrierVoteOnAcked is barrierVoteOn with the caller supplying its
+// acknowledged epoch. Multi-tenant job runners track their own epoch (the
+// node-level ack is shared with sibling runners, whose recovery must not
+// mask a membership change from this one); the classic paths pass the
+// node-level value.
+func (n *Node) barrierVoteOnAcked(b *reusableBarrier, flag bool, acked uint64) (bool, error) {
 	for {
-		acked := n.c.acked[n.id].Load()
-		d, suspects, err := n.c.bar.waitVote(n.id, flag, acked, n.c.cfg.FailureTimeout)
+		d, suspects, err := b.waitVote(n.id, flag, acked, n.c.cfg.FailureTimeout)
 		if errors.Is(err, ErrRecvStall) {
 			// This node is the designated accuser: depose the absentees and
 			// re-enter — the now-stale acked epoch converts the retry into
@@ -738,6 +798,50 @@ func (n *Node) BarrierVoteErr(flag bool) (bool, error) {
 		}
 		return d, err
 	}
+}
+
+// JobBarrierVoteErr is BarrierVoteErr against the per-job barrier for job:
+// only nodes synchronizing that job participate, so two interleaved jobs'
+// step edges can never block each other or OR their halt votes together.
+func (n *Node) JobBarrierVoteErr(job uint32, flag bool) (bool, error) {
+	return n.barrierVoteOn(n.c.jobBarrier(job), flag)
+}
+
+// JobBarrierErr is BarrierErr against the per-job barrier for job.
+func (n *Node) JobBarrierErr(job uint32) error {
+	_, err := n.JobBarrierVoteErr(job, false)
+	return err
+}
+
+// JobBarrierVoteEpoch is JobBarrierVoteErr for callers tracking their own
+// acknowledged membership epoch (see barrierVoteOnAcked): a runner whose
+// epoch lags the cluster's fails with ErrMembershipChanged even when a
+// sibling runner on the same node has already acknowledged the change.
+func (n *Node) JobBarrierVoteEpoch(job uint32, flag bool, acked uint64) (bool, error) {
+	return n.barrierVoteOnAcked(n.c.jobBarrier(job), flag, acked)
+}
+
+// MembershipInterrupt returns a channel closed at the next membership
+// declaration. Combined with MembershipStale it lets receive loops that
+// block on something other than the transport (a multi-tenant session's
+// per-job mailboxes) honor the same membership contract as recvMsgStall:
+// load the channel first, then check staleness — a declaration landing
+// between the two either closes the loaded channel or is seen by the check.
+func (n *Node) MembershipInterrupt() <-chan struct{} {
+	return n.c.epochCh.Load().(chan struct{})
+}
+
+// MembershipStale reports whether this node's acknowledged membership epoch
+// lags the cluster's — i.e. whether a blocking operation would fail with
+// ErrMembershipChanged right now.
+func (n *Node) MembershipStale() bool {
+	return n.c.epochAt.Load() != n.c.acked[n.id].Load()
+}
+
+// MembershipStaleAt is MembershipStale against a caller-tracked epoch — the
+// runner-local counterpart for multi-tenant mailbox receives.
+func (n *Node) MembershipStaleAt(acked uint64) bool {
+	return n.c.epochAt.Load() != acked
 }
 
 // Run executes fn once per node, each on its own goroutine (the SPMD
@@ -784,12 +888,24 @@ func FirstNodeError(errs []error) error {
 	return first
 }
 
-// abort breaks the barrier and closes the transport so that every node
-// blocked in Barrier or Recv unwinds.
+// abort breaks the barriers — main and per-job — and closes the transport so
+// that every node blocked in Barrier or Recv unwinds.
 func (c *Cluster) abort() {
+	c.membMu.Lock()
+	c.jobsBroken = true
+	for _, b := range c.jobBars {
+		b.breakBarrier()
+	}
+	c.membMu.Unlock()
 	c.bar.breakBarrier()
 	c.Close()
 }
+
+// Abort tears the cluster down from outside Run's error path: barriers break
+// (current and future waiters unwind) and the transport closes. Multi-tenant
+// sessions use it when one job's fatal error must unwind every other job's
+// blocked receives and barriers, exactly as a node error inside Run would.
+func (c *Cluster) Abort() { c.abort() }
 
 // reusableBarrier is a generation-counting N-party barrier with a break
 // switch for aborted runs, a per-generation one-bit vote, and membership

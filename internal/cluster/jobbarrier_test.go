@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestJobBarrierIndependence pins the isolation property: two jobs'
+// barriers never synchronize with each other. Job 1's nodes complete many
+// generations while job 2's nodes are parked at their own barrier.
+func TestJobBarrierIndependence(t *testing.T) {
+	c, err := New(Config{NumNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var job1Gens atomic.Int32
+	var wg sync.WaitGroup
+	release := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := c.Node(i)
+			for g := 0; g < 50; g++ {
+				if _, err := n.JobBarrierVoteErr(1, false); err != nil {
+					t.Errorf("job 1 node %d: %v", i, err)
+					return
+				}
+			}
+			job1Gens.Add(1)
+		}(i)
+	}
+	// Job 2: only node 0 arrives; it must stay blocked while job 1 spins.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-release
+		if _, err := c.Node(1).JobBarrierVoteErr(2, false); err != nil {
+			t.Errorf("job 2 node 1: %v", err)
+		}
+	}()
+	done2 := make(chan struct{})
+	go func() {
+		c.Node(0).JobBarrierVoteErr(2, false)
+		close(done2)
+	}()
+
+	// Wait for job 1 to finish all generations with job 2 still parked.
+	deadline := time.After(5 * time.Second)
+	for job1Gens.Load() != 2 {
+		select {
+		case <-done2:
+			t.Fatal("job 2 barrier completed with only one arrival")
+		case <-deadline:
+			t.Fatal("job 1 barriers did not complete")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(release)
+	wg.Wait()
+	<-done2
+	c.ReleaseJobBarrier(1)
+	c.ReleaseJobBarrier(2)
+}
+
+// TestJobBarrierVoteIsolation: a true vote in job 1 must not leak into job
+// 2's decision at the same step edge.
+func TestJobBarrierVoteIsolation(t *testing.T) {
+	c, err := New(Config{NumNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type res struct {
+		job uint32
+		d   bool
+	}
+	results := make(chan res, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		for _, job := range []uint32{1, 2} {
+			wg.Add(1)
+			go func(i int, job uint32) {
+				defer wg.Done()
+				// Job 1 nodes vote true; job 2 nodes vote false.
+				d, err := c.Node(i).JobBarrierVoteErr(job, job == 1)
+				if err != nil {
+					t.Errorf("job %d node %d: %v", job, i, err)
+					return
+				}
+				results <- res{job, d}
+			}(i, job)
+		}
+	}
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if want := r.job == 1; r.d != want {
+			t.Fatalf("job %d decision = %v, want %v", r.job, r.d, want)
+		}
+	}
+}
+
+// TestJobBarrierDeposedOnDeath: a death interrupts every job's barrier with
+// ErrMembershipChanged, and a barrier created after the death counts only
+// survivors.
+func TestJobBarrierDeposedOnDeath(t *testing.T) {
+	c, err := New(Config{NumNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Node(0).JobBarrierVoteErr(7, false)
+		errc <- err
+	}()
+	// Let node 0 park, then kill node 2.
+	time.Sleep(10 * time.Millisecond)
+	c.Node(2).Crash()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrMembershipChanged) {
+			t.Fatalf("err = %v, want ErrMembershipChanged", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not deposed")
+	}
+
+	// Survivors re-ack and a NEW job's barrier completes with just the two
+	// of them.
+	c.Node(0).AckMembership()
+	c.Node(1).AckMembership()
+	var wg sync.WaitGroup
+	for _, i := range []int{0, 1} {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Node(i).JobBarrierVoteErr(8, false); err != nil {
+				t.Errorf("node %d post-death: %v", i, err)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-death job barrier hung")
+	}
+}
+
+// TestJobBarrierBrokenByAbort: Abort releases parked job-barrier waiters,
+// and barriers created afterwards are born broken.
+func TestJobBarrierBrokenByAbort(t *testing.T) {
+	c, err := New(Config{NumNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan bool, 1)
+	go func() {
+		d, _ := c.Node(0).JobBarrierVoteErr(3, false)
+		done <- d
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Abort()
+	select {
+	case d := <-done:
+		if !d {
+			t.Fatal("broken barrier should decide true (abort vote)")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abort did not release job-barrier waiter")
+	}
+	// Born-broken: a fresh job's barrier returns immediately.
+	if d, err := c.Node(0).JobBarrierVoteErr(4, false); err != nil || !d {
+		t.Fatalf("post-abort barrier: d=%v err=%v, want true,nil", d, err)
+	}
+}

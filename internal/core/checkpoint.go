@@ -33,6 +33,17 @@ const ckptHeaderSize = 1 + 4 + 4 + 4
 // ckptBlobName returns the store name of the checkpoint taken after step.
 func ckptBlobName(step int) string { return fmt.Sprintf("ckpt/%08d", step) }
 
+// ckptName is the job-aware blob name: serial sessions keep the classic
+// ckpt/%08d names (one job at a time owns the namespace), multi-tenant
+// runners scope blobs by job ID so two concurrent checkpointed jobs never
+// clobber each other's cuts.
+func (s *server) ckptName(step int) string {
+	if s.multi {
+		return fmt.Sprintf("ckpt/j%d-%08d", s.jobID, step)
+	}
+	return ckptBlobName(step)
+}
+
 // ckptRetain is how many checkpoints each server keeps. Two, not one:
 // recovery restores min over the survivors' newest checkpoints, and the
 // barrier wake race bounds their disagreement to one interval.
@@ -92,7 +103,7 @@ func (s *server) writeCheckpoint(step int, st *StepStats) error {
 	start := time.Now()
 	blob := encodeCheckpoint(s.ckptBuf, step, s.state.values)
 	s.ckptBuf = blob[:0]
-	if err := s.store.WriteAtomic(ckptBlobName(step), blob); err != nil {
+	if err := s.store.WriteAtomic(s.ckptName(step), blob); err != nil {
 		return fmt.Errorf("core: server %d writing checkpoint for step %d: %w", s.node.ID(), step, err)
 	}
 	s.ckptSteps = append(s.ckptSteps, step)
@@ -101,7 +112,7 @@ func (s *server) writeCheckpoint(step int, st *StepStats) error {
 	for len(s.ckptSteps) > ckptRetain {
 		old := s.ckptSteps[0]
 		s.ckptSteps = s.ckptSteps[1:]
-		if err := s.store.Remove(ckptBlobName(old)); err != nil {
+		if err := s.store.Remove(s.ckptName(old)); err != nil {
 			return fmt.Errorf("core: server %d pruning checkpoint for step %d: %w", s.node.ID(), old, err)
 		}
 	}
@@ -112,7 +123,7 @@ func (s *server) writeCheckpoint(step int, st *StepStats) error {
 // restoreCheckpoint loads the checkpoint for step back into the vertex
 // vector.
 func (s *server) restoreCheckpoint(step int) error {
-	blob, err := s.store.Read(ckptBlobName(step))
+	blob, err := s.store.Read(s.ckptName(step))
 	if err != nil {
 		return fmt.Errorf("core: server %d reading checkpoint for step %d: %w", s.node.ID(), step, err)
 	}
@@ -139,7 +150,7 @@ func (s *server) lastCkptStep() int {
 // checkpoints are its own (vertex vectors are per-program).
 func (s *server) clearCheckpoints() error {
 	for _, step := range s.ckptSteps {
-		if err := s.store.Remove(ckptBlobName(step)); err != nil {
+		if err := s.store.Remove(s.ckptName(step)); err != nil {
 			return fmt.Errorf("core: server %d clearing stale checkpoint for step %d: %w", s.node.ID(), step, err)
 		}
 	}

@@ -138,6 +138,23 @@ type Config struct {
 	// overrides it for one Submit. costmodel.CheckpointEverySteps computes
 	// Young's-formula guidance for this knob.
 	CheckpointEvery int
+	// MaxConcurrentJobs, when > 1, turns the session multi-tenant: up to
+	// that many Submits run interleaved over the shared tile stores and
+	// caches, each tagged with a per-job ID so their wire traffic, barriers
+	// and checkpoints never alias (see docs/ARCHITECTURE.md, "Multi-tenant
+	// scheduling"). Admission beyond the level queues (MaxQueuedJobs);
+	// fairness at step edges is weighted round-robin (JobOptions.Weight).
+	// Values ≤ 1 select the classic serial session; the level is capped at
+	// costmodel.MaxJobSlots. Multi-tenant sessions run without the
+	// sweep-ahead prefetcher and the dynamic rebalancer (both assume one
+	// sweep owns the disk and the ownership table); concurrent jobs instead
+	// share tile reads through the cache's single-flight loads and the
+	// cross-job share window.
+	MaxConcurrentJobs int
+	// MaxQueuedJobs bounds how many Submits may wait for admission when
+	// MaxConcurrentJobs jobs are already running; further Submits fail fast
+	// with ErrJobQueueFull. 0 picks costmodel.JobQueueBound.
+	MaxQueuedJobs int
 	// FailureTimeout, when positive, arms the cluster's failure detector:
 	// a server whose barrier vote or update traffic stalls for this long
 	// is declared dead by the survivors. Without it, only self-declared
@@ -236,6 +253,10 @@ func (c Config) normalized() Config {
 		// (a 255-step checkpoint interval is already past any useful
 		// Young's-formula answer).
 		c.CheckpointEvery = 255
+	}
+	c.MaxConcurrentJobs = costmodel.ClampConcurrency(c.MaxConcurrentJobs)
+	if c.MaxQueuedJobs <= 0 {
+		c.MaxQueuedJobs = costmodel.JobQueueBound(c.MaxConcurrentJobs)
 	}
 	return c
 }
@@ -340,9 +361,27 @@ func prepareInput(in Input) (*Graph, int, func(i int) ([]byte, error), error) {
 	}
 }
 
+// nodeShared is the state every job runner on one server shares — and, in
+// a serial session, the holder of the server's death flag. One value per
+// simulated server, created by Open before the cluster boots.
+type nodeShared struct {
+	// dead marks a killed or fenced server: its job loop (and, in a
+	// multi-tenant session, every runner spawned on it) becomes a zombie.
+	dead atomic.Bool
+
+	// Multi-tenant plumbing, nil in serial sessions.
+	gate      *stepGate          // WRR turnstile at superstep edges
+	share     *cache.ShareWindow // cross-job tile sharing
+	router    *frameRouter       // inbox demultiplexer
+	sched     *jobScheduler      // session-level admission (slot masks)
+	recoverMu sync.Mutex         // serializes tile reconciliation across runners
+}
+
 // server is the per-node execution state of one session: the long-lived
 // tile store, cache, metadata and scratch buffers, plus the per-job fields
-// runJob re-points at every Submit.
+// runJob re-points at every Submit. In a multi-tenant session a server
+// value is additionally cloned per admitted job (jobRunner): the clones
+// share the session-lifetime state and diverge in everything per-job.
 type server struct {
 	cfg   Config
 	node  *cluster.Node
@@ -420,8 +459,8 @@ type server struct {
 	// owns — the per-sender expected-batch count of the counted receive
 	// protocol; recvdFrom and seenTiles are per-step receive tallies (a
 	// distinct-tile bitset defeats duplicated frames); faults is the
-	// compiled fault plan; dead marks a killed or fenced server (its job
-	// loop becomes a zombie).
+	// compiled fault plan; shared.dead marks a killed or fenced server (its
+	// job loop becomes a zombie).
 	workRoot  string
 	baseOwner []int
 	curOwner  []int
@@ -429,7 +468,19 @@ type server struct {
 	recvdFrom []int
 	seenTiles []uint64
 	faults    *compiledFaults
-	dead      bool
+	shared    *nodeShared
+
+	// Multi-tenant runner identity, zero on serial servers: the job's wire
+	// tag, its share-window slot bit, its WRR weight, its mailbox from the
+	// frame router, this runner's privately acknowledged membership epoch,
+	// and the count of tiles taken from the share window instead of disk.
+	multi      bool
+	jobID      uint32
+	slotBit    uint64
+	jobWeight  int
+	mailbox    *jobMailbox
+	ackedEpoch uint64
+	shareHits  int64
 
 	// Per-job checkpoint/recovery state: the effective interval, the blob
 	// encode buffer, the retained checkpoint steps, the marker-exchange
@@ -454,11 +505,33 @@ type server struct {
 // cancelled job leaves the session healthy — and non-nil only for hard
 // errors that abort the whole session.
 func (s *server) runJob(jb *job) (fatal error) {
-	if s.dead {
+	if s.shared.dead.Load() {
 		// A killed or fenced server is a zombie: it consumes submissions
 		// so Submit's fan-out never blocks, but contributes nothing. The
 		// survivors fill the result.
 		return nil
+	}
+	degradedStart := false
+	if s.multi {
+		// Pin this runner's membership view before any traffic: the epoch
+		// is the runner's private staleness reference (sibling runners ack
+		// the node-level one). A cluster that already lost members needs
+		// this job's ownership table reconciled to the survivors — that
+		// runs below, once the per-job plumbing exists, through the same
+		// recovery protocol a mid-job failure uses.
+		epoch, alive := s.node.AckMembership()
+		s.ackedEpoch = epoch
+		if !alive[s.node.ID()] {
+			s.die(true)
+			return nil
+		}
+		live := 0
+		for _, ok := range alive {
+			if ok {
+				live++
+			}
+		}
+		degradedStart = live < s.node.NumNodes()
 	}
 	defer func() {
 		// Drop the per-job references on the way out: an idle session must
@@ -521,8 +594,29 @@ func (s *server) runJob(jb *job) (fatal error) {
 	// also runs without the rebalancer: its stats protocol counts on every
 	// rank reporting.
 	s.rebal = nil
-	if s.ckptEvery == 0 && s.node.AliveCount() == s.node.NumNodes() {
+	if !s.multi && s.ckptEvery == 0 && s.node.AliveCount() == s.node.NumNodes() {
+		// (Multi-tenant sessions never rebalance: concurrent jobs hold
+		// independent ownership views, and a migration under one job would
+		// silently break the others' counted receives.)
 		s.rebal = newRebalancer(s.cfg, s.node.NumNodes())
+	}
+
+	if degradedStart {
+		// The cluster was already degraded when this runner acked its
+		// membership view. Sibling runners of the same job may have started
+		// earlier and observed the death mid-step instead — those are now
+		// inside recoverFromFailure, parked at the job's recovery barrier.
+		// A silent local reconcile would leave them waiting until a timeout
+		// falsely fences this server, so a degraded start converges through
+		// the same protocol: barrier, marker exchange, reconcile, restore.
+		if _, err := s.recoverFromFailure(); err != nil {
+			if errors.Is(err, errServerKilled) {
+				jb.steps[s.node.ID()] = nil
+				return nil
+			}
+			jb.errs[s.node.ID()] = err
+			return err
+		}
 	}
 
 	loopStart := time.Now()
@@ -561,6 +655,15 @@ func (s *server) runJob(jb *job) (fatal error) {
 		// staging is flushed, so the stats below are settled and the next
 		// job starts clean.
 		s.pf.drain()
+	}
+	if s.multi {
+		// Job-scoped checkpoints die with the job. Best-effort: a removal
+		// error cannot fail a job that already produced its result, and the
+		// blobs are uniquely named, so leaks die with the work directory.
+		for _, step := range s.ckptSteps {
+			_ = s.store.Remove(s.ckptName(step))
+		}
+		s.ckptSteps = s.ckptSteps[:0]
 	}
 	s.fillServerStats()
 	return nil
@@ -773,6 +876,13 @@ func (s *server) setup() error {
 	// full-residency cache needs none), or forced by the knob. The
 	// prefetcher and its reader workers live for the whole session.
 	depth := s.cfg.PrefetchDepth
+	if s.cfg.MaxConcurrentJobs > 1 {
+		// Multi-tenant sessions run without the prefetcher: its sweep-position
+		// model assumes one job owns the tile order, and concurrent sweeps
+		// would evict each other's staging. Cross-job reuse comes from the
+		// single-flight cache loads and the share window instead.
+		depth = -1
+	}
 	if depth == 0 {
 		effCap := capacity
 		if s.residency == ResidencyStreaming {
@@ -820,10 +930,19 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 	var updatedBuf []uint32
 
 	for step := 0; step < s.maxSteps; step++ {
+		if s.multi {
+			// WRR turnstile: among the jobs waiting to start a step on this
+			// server, the smallest (step+1)/weight key goes first. A job
+			// mid-step is not waiting and is never throttled here.
+			s.shared.gate.arrive(s.jobID, s.jobWeight, step)
+		}
 		if step > 0 {
 			// Superstep boundary: one full cyclic sweep over the assigned
 			// tiles has completed. The CLOCK eviction policy keys its
-			// reference bits on this epoch counter (§IV-B extension).
+			// reference bits on this epoch counter (§IV-B extension). With
+			// concurrent runners the epoch advances once per runner per step —
+			// a faster reference clock, which only shifts CLOCK eviction
+			// quality, never results.
 			s.cache.AdvanceEpoch()
 		}
 		st, updatedTotal, newUpdated, overLimit, err := s.runStep(step, prevUpdated, updatedBuf, encOpts)
@@ -1026,7 +1145,7 @@ func (s *server) runStep(step int, prevUpdated, updatedBuf []uint32, encOpts com
 	// barrier carries the cancellation consensus — if any server's
 	// context is done, all servers abort here, at the same step edge,
 	// leaving the transport clean for the session's next job.
-	d, berr := n.BarrierVoteErr(s.ctx.Err() != nil)
+	d, berr := s.barrierVote(s.ctx.Err() != nil)
 	if berr != nil {
 		return st, 0, nil, false, berr
 	}
@@ -1051,7 +1170,7 @@ func (s *server) runStep(step int, prevUpdated, updatedBuf []uint32, encOpts com
 		if err := s.writeCheckpoint(step, &st); err != nil {
 			return st, 0, nil, false, err
 		}
-		d, berr := n.BarrierVoteErr(false)
+		d, berr := s.barrierVote(false)
 		if berr != nil {
 			return st, 0, nil, false, berr
 		}
@@ -1090,8 +1209,14 @@ func (s *server) runStep(step int, prevUpdated, updatedBuf []uint32, encOpts com
 // away from the frame's origin, which CheckpointEvery < 256 guarantees.
 const stepFrameMagic = 0xB8
 
-// appendStepHeader starts an update-batch frame for the given superstep.
-func appendStepHeader(dst []byte, step int) []byte {
+// stepHeader starts an update-batch frame for the given superstep. In a
+// multi-tenant session the step header rides inside the job envelope
+// (comm.AppendJobHeader), so job A's frames can never alias job B's even at
+// the same superstep number.
+func (s *server) stepHeader(dst []byte, step int) []byte {
+	if s.multi {
+		dst = comm.AppendJobHeader(dst, s.jobID)
+	}
 	return append(dst, stepFrameMagic, byte(step))
 }
 
@@ -1147,6 +1272,19 @@ func (s *server) loadTile(meta *tileMeta, scr *workerScratch) (*csr.Tile, error)
 	if t, ok := s.cache.GetInto(meta.id, &scr.tile); ok {
 		return t, nil
 	}
+	if s.multi {
+		// Cross-job sharing: a concurrent job may have offered this tile
+		// after paying its disk read. A take is the read this job skips.
+		if t, ok := s.shared.share.Take(meta.id, s.slotBit); ok {
+			atomic.AddInt64(&s.shareHits, 1)
+			if s.residency == ResidencyCached {
+				if err := s.cache.AdmitLoaded(meta.id, t); err != nil {
+					return nil, err
+				}
+			}
+			return t, nil
+		}
+	}
 	if s.pf != nil {
 		if t := s.pf.take(meta.id, &scr.tile); t != nil {
 			if s.residency == ResidencyCached {
@@ -1166,9 +1304,12 @@ func (s *server) loadTile(meta *tileMeta, scr *workerScratch) (*csr.Tile, error)
 		if err := csr.DecodeInto(&scr.tile, data); err != nil {
 			return nil, err
 		}
+		if s.multi {
+			s.offerShare(meta.id, &scr.tile)
+		}
 		return &scr.tile, nil
 	}
-	return s.cache.LoadInto(meta.id, &scr.tile, func(dst *csr.Tile) (*csr.Tile, error) {
+	t, err := s.cache.LoadInto(meta.id, &scr.tile, func(dst *csr.Tile) (*csr.Tile, error) {
 		data, err := s.store.ReadInto(meta.blob, scr.disk[:0])
 		if err != nil {
 			return nil, err
@@ -1182,6 +1323,12 @@ func (s *server) loadTile(meta *tileMeta, scr *workerScratch) (*csr.Tile, error)
 		}
 		return dst, nil
 	})
+	if err == nil && s.multi && !s.cache.Contains(meta.id) {
+		// The cache declined admission (policy or capacity): the read's
+		// result would otherwise be lost to the other jobs, so offer it.
+		s.offerShare(meta.id, t)
+	}
+	return t, err
 }
 
 // tileOut is the outcome of processing one tile in one superstep. nanos is
@@ -1262,10 +1409,10 @@ func (s *server) receiveStep(ctx context.Context, step int) error {
 		need--
 		return need == 0, nil
 	}
-	err := s.node.RecvStreamWhile(ctx, handle)
+	err := s.recvWhile(ctx, handle)
 	if err != nil && ctx != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 		discard = true
-		err = s.node.RecvStreamWhile(nil, handle)
+		err = s.recvWhile(nil, handle)
 	}
 	if err != nil && errors.Is(err, cluster.ErrRecvStall) {
 		for p, cnt := range s.ownedCnt {
@@ -1335,7 +1482,7 @@ func (s *server) processTile(k, step int, prevUpdated []uint32, encOpts comm.Opt
 		// buffer transfers to the sender, which recycles it after the last
 		// destination's write.
 		wb := s.sender.Acquire()
-		msg, enc, err := comm.AppendEncode(appendStepHeader(wb.Data[:0], step), &scr.batch, encOpts)
+		msg, enc, err := comm.AppendEncode(s.stepHeader(wb.Data[:0], step), &scr.batch, encOpts)
 		if err != nil {
 			s.sender.Release(wb)
 			out.err = err
@@ -1348,7 +1495,7 @@ func (s *server) processTile(k, step int, prevUpdated []uint32, encOpts comm.Opt
 		}
 		return out
 	}
-	msg, enc, err := comm.AppendEncode(appendStepHeader(scr.wire[:0], step), &scr.batch, encOpts)
+	msg, enc, err := comm.AppendEncode(s.stepHeader(scr.wire[:0], step), &scr.batch, encOpts)
 	if err != nil {
 		out.err = err
 		return out
@@ -1381,7 +1528,7 @@ func (s *server) collectResult() error {
 			if n.ID() == s.coordRank() {
 				copy(s.result.Values, s.state.values)
 			}
-			err := n.BarrierErr()
+			err := s.barrierErr()
 			if err == nil {
 				return nil
 			}
@@ -1391,7 +1538,9 @@ func (s *server) collectResult() error {
 			// A lingering declaration landed between the last superstep and
 			// here (a hang victim detected late, say). No step state is at
 			// risk any more — re-acknowledge, re-elect, re-copy.
-			if _, alive := n.AckMembership(); !alive[n.ID()] {
+			epoch, alive := n.AckMembership()
+			s.ackedEpoch = epoch
+			if !alive[n.ID()] {
 				return s.die(true)
 			}
 		}
@@ -1411,7 +1560,11 @@ func (s *server) collectResult() error {
 			batch := comm.Batch{TileID: uint32(meta.id), Lo: meta.lo, Hi: meta.hi, Updates: ups}
 			if s.sender != nil {
 				wb := s.sender.Acquire()
-				msg, _, err := comm.AppendEncode(wb.Data[:0], &batch, collectOpts)
+				head := wb.Data[:0]
+				if s.multi {
+					head = comm.AppendJobHeader(head, s.jobID)
+				}
+				msg, _, err := comm.AppendEncode(head, &batch, collectOpts)
 				if err != nil {
 					s.sender.Release(wb)
 					return err
@@ -1422,7 +1575,11 @@ func (s *server) collectResult() error {
 				}
 				continue
 			}
-			msg, _, err := comm.Encode(&batch, collectOpts)
+			var head []byte
+			if s.multi {
+				head = comm.AppendJobHeader(nil, s.jobID)
+			}
+			msg, _, err := comm.AppendEncode(head, &batch, collectOpts)
 			if err != nil {
 				return err
 			}
@@ -1441,7 +1598,7 @@ func (s *server) collectResult() error {
 				s.result.Values[v] = s.state.get(v)
 			}
 		}
-		err := n.RecvStream(s.total-len(s.metas), func(from int, m []byte) error {
+		err := s.recvCount(s.total-len(s.metas), func(from int, m []byte) error {
 			if _, err := comm.DecodeInto(&s.recvBatch, m); err != nil {
 				return fmt.Errorf("core: server 0 decoding result batch: %w", err)
 			}
@@ -1454,8 +1611,91 @@ func (s *server) collectResult() error {
 			return err
 		}
 	}
-	n.Barrier()
+	return s.syncBarrier()
+}
+
+// barrierVote is the runner's step-consensus barrier: the node-wide vote
+// barrier in a serial session, the job-tagged barrier (checked against this
+// runner's privately acknowledged membership epoch) when multi-tenant.
+func (s *server) barrierVote(flag bool) (bool, error) {
+	if s.multi {
+		return s.node.JobBarrierVoteEpoch(s.jobID, flag, s.ackedEpoch)
+	}
+	return s.node.BarrierVoteErr(flag)
+}
+
+// barrierErr is the voteless form: nil on a clean pass, the membership error
+// when a runner must recover, a broken barrier surfaced as ErrClosed.
+func (s *server) barrierErr() error {
+	if !s.multi {
+		return s.node.BarrierErr()
+	}
+	d, err := s.node.JobBarrierVoteEpoch(s.jobID, false, s.ackedEpoch)
+	if err != nil {
+		return err
+	}
+	if d {
+		// Nobody votes true on this barrier; a true outcome means the
+		// barrier was broken by a cluster abort.
+		return fmt.Errorf("core: server %d: job barrier: %w", s.node.ID(), cluster.ErrClosed)
+	}
 	return nil
+}
+
+// syncBarrier is the plain end-of-phase barrier (collectResult's tail):
+// best-effort in both modes — the result is already assembled, a failure
+// here cannot corrupt it.
+func (s *server) syncBarrier() error {
+	if !s.multi {
+		s.node.Barrier()
+		return nil
+	}
+	_, err := s.node.JobBarrierVoteEpoch(s.jobID, false, s.ackedEpoch)
+	if err != nil && !errors.Is(err, cluster.ErrMembershipChanged) {
+		return err
+	}
+	return nil
+}
+
+// recvWhile is receiveStep's stream primitive: the node inbox in a serial
+// session, this runner's routed mailbox when multi-tenant.
+func (s *server) recvWhile(ctx context.Context, fn func(from int, msg []byte) (bool, error)) error {
+	if s.multi {
+		return s.recvMail(ctx, fn)
+	}
+	return s.node.RecvStreamWhile(ctx, fn)
+}
+
+// recvCount is collectResult's counted receive: exactly count frames, each
+// handed to fn.
+func (s *server) recvCount(count int, fn func(from int, msg []byte) error) error {
+	if !s.multi {
+		return s.node.RecvStream(count, fn)
+	}
+	if count <= 0 {
+		return nil
+	}
+	remaining := count
+	return s.recvMail(nil, func(from int, payload []byte) (bool, error) {
+		if err := fn(from, payload); err != nil {
+			return false, err
+		}
+		remaining--
+		return remaining == 0, nil
+	})
+}
+
+// offerShare publishes a tile this runner just paid a disk read for to the
+// node's share window, for the other in-flight jobs to take. The tile is
+// cloned because the argument is scratch- or cache-backed; the clone is
+// skipped when no other job is running or the window would drop the offer.
+func (s *server) offerShare(id int, t *csr.Tile) {
+	sh := s.shared
+	mask := sh.sched.othersMask(s.slotBit)
+	if mask == 0 || !sh.share.Accepting(id) {
+		return
+	}
+	sh.share.Offer(id, t.Clone(), mask)
 }
 
 // fillServerStats computes the analytic memory footprint (§IV-A accounting)
@@ -1507,6 +1747,61 @@ func (s *server) fillServerStats() {
 	st.TilesAdopted = s.tilesAdopted
 	st.Recoveries = s.recoveries
 	st.RecoveryTime = s.recoveryTime
+	st.SharedTileLoads = atomic.LoadInt64(&s.shareHits)
+}
+
+// jobRunner clones this server for one admitted job of a multi-tenant
+// session. The clone shares everything session-lifetime — store, cache,
+// graph, node, metas data, the nodeShared plumbing — and privatizes
+// everything a concurrent BSP loop writes: vertex state (allocated fresh by
+// initJobState), scratch, per-tile buffers, ownership tables and receive
+// tallies. Built field-by-field: server holds a mutex, so a struct copy
+// would be a copylocks violation.
+func (s *server) jobRunner(jb *job) *server {
+	r := &server{
+		cfg:        s.cfg,
+		node:       s.node,
+		graph:      s.graph,
+		tiles:      s.tiles,
+		total:      s.total,
+		work:       s.work,
+		store:      s.store,
+		cache:      s.cache,
+		members:    s.members,
+		bloomBytes: s.bloomBytes,
+		residency:  s.residency,
+		workRoot:   s.workRoot,
+		baseOwner:  s.baseOwner, // read-only without the rebalancer
+		faults:     s.faults,
+		shared:     s.shared,
+		multi:      true,
+		jobID:      jb.id,
+		slotBit:    1 << uint(jb.slot),
+		jobWeight:  jb.weight,
+	}
+	r.metas = append([]*tileMeta(nil), s.metas...)
+	r.scratch = make([]*workerScratch, r.cfg.WorkersPerServer)
+	for w := range r.scratch {
+		r.scratch[w] = new(workerScratch)
+	}
+	r.outs = make([]tileOut, len(r.metas))
+	r.updBufs = make([][]comm.Update, len(r.metas))
+	r.staged = make([][]comm.Update, r.node.NumNodes())
+	r.curOwner = append([]int(nil), s.baseOwner...)
+	r.ownedCnt = make([]int, r.node.NumNodes())
+	for _, owner := range r.curOwner {
+		r.ownedCnt[owner]++
+	}
+	r.recvdFrom = make([]int, r.node.NumNodes())
+	r.seenTiles = make([]uint64, (r.total+63)/64)
+	// Static send-queue sizing only: the adaptive controller reads node-wide
+	// stall metrics, which concurrent runners would pollute for each other.
+	r.queueCap = r.cfg.SendQueueCap
+	if r.queueCap <= 0 {
+		r.queueCap = 32
+	}
+	r.mailbox = s.shared.router.register(jb.id)
+	return r
 }
 
 // mergeSteps folds the per-server step stats into cluster-wide rows: sums

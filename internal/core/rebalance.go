@@ -285,8 +285,13 @@ func (s *server) metaIndex(id int) int {
 func (s *server) dropTile(k int) error {
 	meta := s.metas[k]
 	s.cache.Remove(meta.id)
-	if err := s.store.Remove(meta.blob); err != nil {
-		return fmt.Errorf("core: server %d dropping migrated tile %d: %w", s.node.ID(), meta.id, err)
+	if !s.multi {
+		// Multi-tenant runners keep the blob: the drop only narrows this
+		// job's private ownership view, and a concurrent job (or a later
+		// recovery pass) may still read the tile from the shared store.
+		if err := s.store.Remove(meta.blob); err != nil {
+			return fmt.Errorf("core: server %d dropping migrated tile %d: %w", s.node.ID(), meta.id, err)
+		}
 	}
 	if meta.filter != nil {
 		s.bloomBytes -= int64(meta.filter.SizeBytes())

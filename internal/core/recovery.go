@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/disk"
 	"repro/internal/tile"
 )
@@ -59,9 +60,10 @@ const markerMagic = 0xC9
 // markerSize is magic + epoch (u64) + newest checkpoint step (i64).
 const markerSize = 1 + 8 + 8
 
-// appendMarker encodes a recovery marker for the given membership epoch.
+// appendMarker appends a recovery marker for the given membership epoch.
+// Pure append: multi-tenant callers prefix the job envelope first.
 func appendMarker(dst []byte, epoch uint64, lastCkpt int) []byte {
-	dst = append(dst[:0], markerMagic)
+	dst = append(dst, markerMagic)
 	dst = binary.LittleEndian.AppendUint64(dst, epoch)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(lastCkpt)))
 	return dst
@@ -90,7 +92,7 @@ func (s *server) die(hang bool) error {
 		s.sender.Abort()
 		s.sender = nil
 	}
-	s.dead = true
+	s.shared.dead.Store(true)
 	return errServerKilled
 }
 
@@ -135,6 +137,7 @@ func (s *server) recoverFromFailure() (restore int, err error) {
 	}
 	for {
 		epoch, alive := n.AckMembership()
+		s.ackedEpoch = epoch
 		if !alive[n.ID()] {
 			// Fenced: the quorum declared this server dead (a false
 			// accusation after dropped frames, perhaps). It must stop, not
@@ -143,7 +146,7 @@ func (s *server) recoverFromFailure() (restore int, err error) {
 		}
 		// Barrier A: every survivor has acknowledged this epoch and sent
 		// its last pre-recovery frame.
-		if err := n.BarrierErr(); err != nil {
+		if err := s.barrierErr(); err != nil {
 			if errors.Is(err, cluster.ErrMembershipChanged) {
 				continue
 			}
@@ -157,7 +160,7 @@ func (s *server) recoverFromFailure() (restore int, err error) {
 			continue
 		}
 		// Barrier B: the restore consensus is complete on every survivor.
-		if err := n.BarrierErr(); err != nil {
+		if err := s.barrierErr(); err != nil {
 			if errors.Is(err, cluster.ErrMembershipChanged) {
 				continue
 			}
@@ -178,7 +181,7 @@ func (s *server) recoverFromFailure() (restore int, err error) {
 		for len(s.ckptSteps) > 0 && s.ckptSteps[len(s.ckptSteps)-1] > restore {
 			newest := s.ckptSteps[len(s.ckptSteps)-1]
 			s.ckptSteps = s.ckptSteps[:len(s.ckptSteps)-1]
-			if err := s.store.Remove(ckptBlobName(newest)); err != nil {
+			if err := s.store.Remove(s.ckptName(newest)); err != nil {
 				return 0, fmt.Errorf("core: server %d dropping post-restore checkpoint for step %d: %w", n.ID(), newest, err)
 			}
 		}
@@ -205,7 +208,13 @@ func (s *server) exchangeMarkers(epoch uint64, alive []bool) (restore int, retry
 	n := s.node
 	me := n.ID()
 	restore = s.lastCkptStep()
-	msg := appendMarker(s.markerBuf, epoch, restore)
+	buf := s.markerBuf[:0]
+	if s.multi {
+		// Job envelope first: the peers' routers deliver the marker to the
+		// right job's mailbox.
+		buf = comm.AppendJobHeader(buf, s.jobID)
+	}
+	msg := appendMarker(buf, epoch, restore)
 	s.markerBuf = msg[:0]
 	need := 0
 	for p, ok := range alive {
@@ -226,7 +235,7 @@ func (s *server) exchangeMarkers(epoch uint64, alive []bool) (restore int, retry
 		s.markerSeen = seen
 	}
 	clear(seen)
-	err = n.RecvStreamWhile(nil, func(from int, payload []byte) (bool, error) {
+	err = s.recvWhile(nil, func(from int, payload []byte) (bool, error) {
 		if len(payload) == 0 || payload[0] != markerMagic {
 			return false, nil // stale step frame from before the failure
 		}
@@ -269,6 +278,14 @@ func (s *server) exchangeMarkers(epoch uint64, alive []bool) (restore int, retry
 // every pass, so survivors that entered recovery at different moments
 // still converge on the identical assignment.
 func (s *server) reconcileTiles(alive []bool) error {
+	if s.multi {
+		// Concurrent runners reconcile against private ownership tables but
+		// share the tile store: serializing the passes makes the adopted-blob
+		// writes sequential (and idempotent — every runner writes the same
+		// bytes read from the same dead directory).
+		s.shared.recoverMu.Lock()
+		defer s.shared.recoverMu.Unlock()
+	}
 	me := s.node.ID()
 	cur, err := tile.ReassignDead(s.baseOwner, alive)
 	if err != nil {

@@ -30,8 +30,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/compress"
+	"repro/internal/costmodel"
 	"repro/internal/tile"
 )
 
@@ -65,6 +67,12 @@ type JobOptions struct {
 	// for this job, a positive value checkpoints every that-many
 	// supersteps. Requires All-in-All replication, like the Config knob.
 	CheckpointEvery int
+	// Weight is this job's weighted-round-robin share in a multi-tenant
+	// session (Config.MaxConcurrentJobs > 1): at contended superstep edges
+	// a weight-2 job is serviced twice as often as a weight-1 job, and
+	// within the admission queue heavier jobs overtake lighter ones. 0 or
+	// negative means 1. Ignored by serial sessions.
+	Weight int
 }
 
 // ErrSessionDead marks every Submit that fails fast because an earlier
@@ -100,6 +108,13 @@ type job struct {
 	progress  func(StepStats)
 	ckptEvery int
 
+	// Multi-tenant identity, zero in serial sessions: the session-unique
+	// wire/barrier/checkpoint tag, the admission slot (share-window bit),
+	// and the WRR weight.
+	id     uint32
+	slot   int
+	weight int
+
 	res     *Result
 	steps   [][]StepStats
 	errs    []error // hard per-server errors
@@ -113,8 +128,11 @@ type job struct {
 // degree context, and a warm edge cache across any number of submitted
 // jobs. Open boots it, Submit runs one program, Close tears it down.
 //
-// Submit and Close serialize against each other; concurrent calls are safe
-// but jobs run one at a time (the BSP loop owns the whole cluster).
+// Submit and Close serialize against each other; concurrent calls are
+// safe. In a classic session jobs run one at a time (the BSP loop owns the
+// whole cluster); with Config.MaxConcurrentJobs > 1 up to that many jobs
+// run interleaved, each on its own vertex-state arena and job-tagged
+// wire/barrier traffic, sharing tile loads through the share window.
 type Session struct {
 	cfg      Config
 	graph    *Graph
@@ -125,6 +143,16 @@ type Session struct {
 
 	jobChs  []chan *job
 	runDone chan error
+
+	// Multi-tenant machinery (Config.MaxConcurrentJobs > 1): the admission
+	// controller, the per-server shared plumbing, and the monotonically
+	// increasing job-ID source. submitWG tracks in-flight Submits so Close
+	// can wait for their fan-outs before closing the job channels.
+	multi    bool
+	sched    *jobScheduler
+	shared   []*nodeShared
+	nextJob  uint32
+	submitWG sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
@@ -203,6 +231,7 @@ func Open(in Input, cfg Config) (*Session, error) {
 		}
 	}
 
+	multi := cfg.MaxConcurrentJobs > 1
 	se := &Session{
 		cfg:     cfg,
 		graph:   g,
@@ -211,9 +240,31 @@ func Open(in Input, cfg Config) (*Session, error) {
 		ownWork: ownWork,
 		jobChs:  make([]chan *job, cfg.NumServers),
 		runDone: make(chan error, 1),
+		multi:   multi,
+		nextJob: 1, // 0 stays "no job": serial frames carry no envelope
+		shared:  make([]*nodeShared, cfg.NumServers),
+	}
+	if multi {
+		se.sched = newJobScheduler(cfg.MaxConcurrentJobs, cfg.MaxQueuedJobs)
+	}
+	for i := range se.shared {
+		ns := &nodeShared{}
+		if multi {
+			ns.gate = newStepGate()
+			ns.share = cache.NewShareWindow(costmodel.ShareWindowTiles(cfg.MaxConcurrentJobs, cfg.WorkersPerServer))
+			ns.sched = se.sched
+		}
+		se.shared[i] = ns
 	}
 	for i := range se.jobChs {
-		se.jobChs[i] = make(chan *job)
+		if multi {
+			// Buffered to the admission level: a Submit's fan-out must not
+			// block behind another job's runners — at most MaxConcurrentJobs
+			// jobs hold slots, so the buffer absorbs every admitted fan-out.
+			se.jobChs[i] = make(chan *job, cfg.MaxConcurrentJobs)
+		} else {
+			se.jobChs[i] = make(chan *job)
+		}
 	}
 
 	type setupRes struct {
@@ -242,6 +293,18 @@ func Open(in Input, cfg Config) (*Session, error) {
 				workRoot:  workDir,
 				baseOwner: append([]int(nil), owner...),
 				faults:    faults,
+				shared:    se.shared[n.ID()],
+			}
+			if multi {
+				// The frame router owns this node's inbox for the whole
+				// session: runners only ever see their own job's mailbox. The
+				// mailbox bound covers a full superstep of traffic (one frame
+				// per tile per live peer ≤ 2×tiles for practical clusters)
+				// plus recovery markers and slack, so routing never blocks on
+				// a lagging runner in the common case.
+				r := newFrameRouter(n, 2*numTiles+64, se.noteFatal)
+				sv.shared.router = r
+				go r.run()
 			}
 			defer func() {
 				if sv.pf != nil {
@@ -260,13 +323,35 @@ func Open(in Input, cfg Config) (*Session, error) {
 			// The fetch closure (and any tile encodings it retains) is only
 			// needed during setup; drop it so the session doesn't pin it.
 			sv.fetch = nil
-			for jb := range se.jobChs[n.ID()] {
-				fatal := sv.runJob(jb)
-				jb.wg.Done()
-				if fatal != nil {
-					return fatal
+			if !multi {
+				for jb := range se.jobChs[n.ID()] {
+					fatal := sv.runJob(jb)
+					jb.wg.Done()
+					if fatal != nil {
+						return fatal
+					}
 				}
+				return nil
 			}
+			// Multi-tenant: one runner goroutine per admitted job, each a
+			// clone of this server sharing its store/cache/metas. A fatal
+			// error cannot return from here mid-stream (other runners are
+			// still flying); it aborts the cluster via noteFatal instead,
+			// which unwinds every runner exactly as a node error would.
+			var runners sync.WaitGroup
+			for jb := range se.jobChs[n.ID()] {
+				runners.Add(1)
+				go func(jb *job) {
+					defer runners.Done()
+					r := sv.jobRunner(jb)
+					if fatal := r.runJob(jb); fatal != nil {
+						se.noteFatal(fatal)
+					}
+					jb.wg.Done()
+				}(jb)
+			}
+			runners.Wait()
+			sv.shared.router.halt()
 			return nil
 		})
 	}()
@@ -319,6 +404,9 @@ func (se *Session) Submit(ctx context.Context, prog Program, opts JobOptions) (*
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if se.multi {
+		return se.submitMulti(ctx, prog, opts)
+	}
 	se.mu.Lock()
 	defer se.mu.Unlock()
 	if se.closed {
@@ -333,7 +421,123 @@ func (se *Session) Submit(ctx context.Context, prog Program, opts JobOptions) (*
 		// Submit cancelled while queued behind another job is also caught.
 		return nil, err
 	}
+	jb, err := se.makeJob(ctx, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	jb.wg.Add(se.cfg.NumServers)
+	for _, ch := range se.jobChs {
+		ch <- jb
+	}
+	jb.wg.Wait()
 
+	if err := cluster.FirstNodeError(jb.errs); err != nil {
+		se.dead = err
+		return nil, err
+	}
+	for _, cerr := range jb.cancels {
+		if cerr != nil {
+			return nil, cerr
+		}
+	}
+	deadServers := se.deadServers()
+	if len(deadServers) == se.cfg.NumServers {
+		// Every server died (scripted kills can do that). There is no
+		// survivor to have filled the result, and no membership left to run
+		// another job on.
+		se.dead = fmt.Errorf("core: all %d servers died during the job", se.cfg.NumServers)
+		return nil, se.dead
+	}
+	return se.assembleResult(jb, deadServers), nil
+}
+
+// submitMulti is Submit's multi-tenant path. Unlike the serial path it does
+// not hold the session lock across the run — that is the point: concurrent
+// Submits admit through the scheduler (blocking in its bounded queue when
+// MaxConcurrentJobs jobs are already running), fan out to the per-server
+// runner loops, and interleave superstep-by-superstep under the WRR gates.
+func (se *Session) submitMulti(ctx context.Context, prog Program, opts JobOptions) (*Result, error) {
+	se.mu.Lock()
+	if se.closed {
+		se.mu.Unlock()
+		return nil, fmt.Errorf("core: Submit on closed session")
+	}
+	if se.dead != nil {
+		d := se.dead
+		se.mu.Unlock()
+		return nil, &sessionDeadError{cause: d}
+	}
+	se.submitWG.Add(1)
+	se.mu.Unlock()
+	defer se.submitWG.Done()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	jb, err := se.makeJob(ctx, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	jb.weight = opts.Weight
+	if jb.weight <= 0 {
+		jb.weight = 1
+	}
+
+	// Admission: block for a run slot (or fail fast with ErrJobQueueFull /
+	// unwind on ctx cancellation while queued).
+	slot, err := se.sched.admit(ctx, jb.weight)
+	if err != nil {
+		return nil, err
+	}
+	defer se.sched.release(slot)
+	jb.slot = slot
+
+	se.mu.Lock()
+	if se.closed || se.dead != nil {
+		// The session died (or closed) while this Submit waited in the
+		// admission queue; the runner loops may be gone — do not fan out.
+		dead := se.dead
+		se.mu.Unlock()
+		if dead != nil {
+			return nil, &sessionDeadError{cause: dead}
+		}
+		return nil, fmt.Errorf("core: Submit on closed session")
+	}
+	jb.id = se.nextJob
+	se.nextJob++
+	se.mu.Unlock()
+
+	jb.wg.Add(se.cfg.NumServers)
+	for _, ch := range se.jobChs {
+		ch <- jb
+	}
+	jb.wg.Wait()
+	se.retireJob(jb)
+
+	if err := cluster.FirstNodeError(jb.errs); err != nil {
+		se.noteFatal(err)
+		return nil, err
+	}
+	for _, cerr := range jb.cancels {
+		if cerr != nil {
+			return nil, cerr
+		}
+	}
+	deadServers := se.deadServers()
+	if len(deadServers) == se.cfg.NumServers {
+		err := fmt.Errorf("core: all %d servers died during the job", se.cfg.NumServers)
+		se.mu.Lock()
+		if se.dead == nil {
+			se.dead = err
+		}
+		se.mu.Unlock()
+		return nil, err
+	}
+	return se.assembleResult(jb, deadServers), nil
+}
+
+// makeJob validates per-job options against the session config and builds
+// the job envelope Submit fans out.
+func (se *Session) makeJob(ctx context.Context, prog Program, opts JobOptions) (*job, error) {
 	maxSteps := opts.MaxSupersteps
 	if maxSteps <= 0 {
 		maxSteps = se.cfg.MaxSupersteps
@@ -355,7 +559,7 @@ func (se *Session) Submit(ctx context.Context, prog Program, opts JobOptions) (*
 	if ckptEvery > 0 && se.cfg.Replication != AllInAll {
 		return nil, fmt.Errorf("core: CheckpointEvery requires All-in-All replication (recovery restores each survivor from its own full-vector checkpoint)")
 	}
-	jb := &job{
+	return &job{
 		prog:      prog,
 		ctx:       ctx,
 		maxSteps:  maxSteps,
@@ -370,36 +574,22 @@ func (se *Session) Submit(ctx context.Context, prog Program, opts JobOptions) (*
 		steps:   make([][]StepStats, se.cfg.NumServers),
 		errs:    make([]error, se.cfg.NumServers),
 		cancels: make([]error, se.cfg.NumServers),
-	}
-	jb.wg.Add(se.cfg.NumServers)
-	for _, ch := range se.jobChs {
-		ch <- jb
-	}
-	jb.wg.Wait()
+	}, nil
+}
 
-	if err := cluster.FirstNodeError(jb.errs); err != nil {
-		se.dead = err
-		return nil, err
-	}
-	for _, cerr := range jb.cancels {
-		if cerr != nil {
-			return nil, cerr
-		}
-	}
-	var deadServers []int
+// deadServers lists the ranks that are no longer cluster members.
+func (se *Session) deadServers() []int {
+	var dead []int
 	for i := 0; i < se.cfg.NumServers; i++ {
 		if !se.cl.Alive(i) {
-			deadServers = append(deadServers, i)
+			dead = append(dead, i)
 		}
 	}
-	if len(deadServers) == se.cfg.NumServers {
-		// Every server died (scripted kills can do that). There is no
-		// survivor to have filled the result, and no membership left to run
-		// another job on.
-		se.dead = fmt.Errorf("core: all %d servers died during the job", se.cfg.NumServers)
-		return nil, se.dead
-	}
+	return dead
+}
 
+// assembleResult merges the per-server outcomes of a finished job.
+func (se *Session) assembleResult(jb *job, deadServers []int) *Result {
 	res := jb.res
 	res.SetupDuration = se.setupDur
 	res.Duration = time.Duration(jb.loopMax)
@@ -407,7 +597,37 @@ func (se *Session) Submit(ctx context.Context, prog Program, opts JobOptions) (*
 	mergeSteps(res, jb.steps)
 	res.Supersteps = len(res.Steps)
 	res.Converged = res.Supersteps > 0 && res.Steps[res.Supersteps-1].Updated == 0
-	return res, nil
+	return res
+}
+
+// retireJob tears down a finished job's multi-tenant residue after every
+// runner has passed its final barrier: the cluster's job barrier, each
+// server's mailbox (later frames are in-flight duplicates), its unconsumed
+// share-window offers, and any stale WRR gate entry a dying runner left.
+func (se *Session) retireJob(jb *job) {
+	se.cl.ReleaseJobBarrier(jb.id)
+	for _, ns := range se.shared {
+		if ns.router != nil {
+			ns.router.retire(jb.id)
+		}
+		ns.share.DropConsumer(1 << uint(jb.slot))
+		ns.gate.leave(jb.id)
+	}
+}
+
+// noteFatal records the session's first hard error and aborts the cluster
+// so every other in-flight job's blocked barriers and receives unwind —
+// the multi-tenant equivalent of a node error inside cluster.Run.
+func (se *Session) noteFatal(err error) {
+	if err == nil {
+		return
+	}
+	se.mu.Lock()
+	if se.dead == nil {
+		se.dead = err
+	}
+	se.mu.Unlock()
+	se.cl.Abort()
 }
 
 // Close shuts the session down: the per-server job loops exit, the cluster
@@ -420,11 +640,17 @@ func (se *Session) Close() error {
 		return nil
 	}
 	se.closed = true
+	dead := se.dead
+	se.mu.Unlock()
+
+	// Multi-tenant: wait out the in-flight Submits before closing the job
+	// channels — their fan-outs must not race the close. A Submit parked in
+	// the admission queue holds Close here until its context is cancelled
+	// or its turn comes and it observes the closed flag.
+	se.submitWG.Wait()
 	for _, ch := range se.jobChs {
 		close(ch)
 	}
-	dead := se.dead
-	se.mu.Unlock()
 
 	err := <-se.runDone
 	se.cl.Close()

@@ -106,6 +106,10 @@ type ServerStats struct {
 	TilesAdopted int
 	Recoveries   int
 	RecoveryTime time.Duration
+	// SharedTileLoads counts tiles this job took from the multi-tenant
+	// share window instead of reading from disk — each one is a disk read a
+	// concurrent job paid on this job's behalf. Always 0 in serial sessions.
+	SharedTileLoads int64
 }
 
 // Result is the outcome of one engine run.

@@ -1,0 +1,74 @@
+package costmodel
+
+// Multi-tenant admission and fairness sizing. A session that interleaves
+// jobs needs three numbers: how many jobs may run at once (chosen by the
+// caller), how deep the admission queue behind them may grow, and how many
+// tiles the cross-job share window may pin while a lagging job catches up
+// to the job that paid the disk read. The bounds here keep both backlogs
+// proportional to the concurrency level, so a burst of Submits degrades to
+// queueing — never to unbounded memory.
+
+// MaxJobSlots caps the concurrency level of one session: job identities in
+// the share window are bitmask slots in a uint64.
+const MaxJobSlots = 64
+
+// ClampConcurrency normalizes a requested concurrency level: values below 2
+// mean the serial session (one job owns the cluster), and the level never
+// exceeds MaxJobSlots.
+func ClampConcurrency(n int) int {
+	if n < 2 {
+		return 1
+	}
+	if n > MaxJobSlots {
+		return MaxJobSlots
+	}
+	return n
+}
+
+// JobQueueBound returns the admission-queue depth for a session running at
+// most maxRun jobs concurrently: 4× the run slots, clamped to [8, 256].
+// Enough that a bursty client can stage a batch of Submits without a
+// rejection, small enough that a runaway submitter hits ErrJobQueueFull
+// instead of exhausting memory with parked goroutines.
+func JobQueueBound(maxRun int) int {
+	b := 4 * maxRun
+	if b < 8 {
+		b = 8
+	}
+	if b > 256 {
+		b = 256
+	}
+	return b
+}
+
+// ShareWindowTiles sizes the cross-job tile-sharing window: how many tiles
+// the leading job may leave pinned for laggards before offers degrade to
+// per-job disk reads. Each concurrent job can be mid-sweep at a different
+// tile, and each of its workers can be a tile ahead, so the window scales
+// with jobs×workers, clamped to [8, 64] tiles — a sliver of the cache
+// budget, because a laggard more than a window behind re-reads from disk
+// anyway and self-aligns with the leader through the free hits.
+func ShareWindowTiles(jobs, workersPerServer int) int {
+	if jobs < 2 {
+		return 0
+	}
+	w := jobs * workersPerServer * 2
+	if w < 8 {
+		w = 8
+	}
+	if w > 64 {
+		w = 64
+	}
+	return w
+}
+
+// WRRCharge is the virtual-time charge of one scheduling grant for a job
+// with the given weight: 1/weight, so a weight-2 job accumulates virtual
+// time half as fast and is granted twice as often when the step-edge gate
+// is contended. Non-positive weights count as 1.
+func WRRCharge(weight int) float64 {
+	if weight <= 0 {
+		weight = 1
+	}
+	return 1 / float64(weight)
+}
