@@ -36,12 +36,13 @@ check: ci race chaos fuzz-ci docs-check api-check bench-smoke
 
 # chaos runs the fault-injection and crash-recovery suite under the race
 # detector: the crash-at-every-superstep sweep (serial and with two
-# concurrent jobs in flight), hang detection, wire drop/duplicate
-# tolerance, session death semantics and the disk failure hooks. Every
-# test asserts recovered results are bit-identical to the fault-free run.
+# concurrent jobs in flight), the kill-then-rejoin elastic-membership
+# sweep, hang detection, wire drop/duplicate tolerance, session death
+# semantics and the disk failure hooks. Every test asserts recovered
+# results are bit-identical to the fault-free run.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Recovery|Fault|Wire|Kill|Checkpoint|SessionRecovers|SessionDead|AllServersDie' \
+		-run 'Recovery|Fault|Wire|Kill|Checkpoint|SessionRecovers|SessionDead|AllServersDie|Rejoin|JoinBetweenJobs|JoinValidation|JobBarrierNoLeak' \
 		./internal/core/ ./internal/disk/ .
 
 # bench-smoke is the fast perf sanity pass: the skewed-partition
@@ -108,4 +109,5 @@ fuzz-ci:
 	$(GO) test ./internal/comm/ -run xxx -fuzz FuzzDecodeInto -fuzztime 10s
 	$(GO) test ./internal/comm/ -run xxx -fuzz FuzzDecodeJobFrame -fuzztime 10s
 	$(GO) test ./internal/core/ -run xxx -fuzz FuzzDecodeRebalance -fuzztime 10s
+	$(GO) test ./internal/core/ -run xxx -fuzz FuzzDecodeJoinFrame -fuzztime 10s
 	$(GO) test ./internal/disk/ -run xxx -fuzz FuzzDecodeBatchFrame -fuzztime 10s

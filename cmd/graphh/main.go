@@ -250,6 +250,18 @@ func printJob(name string, res *graphh.Result, first bool, top int) {
 		fmt.Printf("recovery: servers %v died mid-run; survivors completed %d recovery rounds\n",
 			res.DeadServers, recoveries)
 	}
+	var joins int
+	var membershipEpoch uint64
+	for _, sv := range res.Servers {
+		joins += sv.Joins
+		if sv.MembershipEpoch > membershipEpoch {
+			membershipEpoch = sv.MembershipEpoch
+		}
+	}
+	if joins > 0 {
+		fmt.Printf("membership: %d rejoin(s) admitted mid-run; epoch %d at job end\n",
+			joins, membershipEpoch)
+	}
 	var pfIssued, pfHits, pfWasted, queueHW int64
 	for _, sv := range res.Servers {
 		pfIssued += sv.PrefetchIssued

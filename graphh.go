@@ -164,17 +164,23 @@ const (
 func ResidencyByName(name string) (ResidencyMode, error) { return core.ResidencyByName(name) }
 
 // Fault injection and recovery re-exports. A FaultPlan scripts
-// deterministic failures — server crashes and hangs, disk-op errors,
-// dropped or duplicated wire frames — into a Run or a Session via
-// Options.Faults; with Options.CheckpointEvery set, the surviving servers
-// recover from the newest common checkpoint and finish the job with
-// bit-identical results. See core.FaultPlan and docs/ARCHITECTURE.md,
-// "Checkpointing & recovery".
+// deterministic failures — server crashes and hangs, scripted rejoins,
+// disk-op errors, dropped or duplicated wire frames — into a Run or a
+// Session via Options.Faults; with Options.CheckpointEvery set, the
+// surviving servers recover from the newest common checkpoint and finish
+// the job with bit-identical results. See core.FaultPlan and
+// docs/ARCHITECTURE.md, "Checkpointing & recovery" and "Elastic
+// membership".
 type (
 	// FaultPlan scripts failures into one Run or Session.
 	FaultPlan = core.FaultPlan
 	// Kill crashes (or hangs) one server at one superstep.
 	Kill = core.Kill
+	// Rejoin scripts a dead server's elastic-membership comeback: at the
+	// start of the given superstep the join controller runs the full rejoin
+	// protocol — handshake, admission at the step edge, checkpoint and tile
+	// restoration, replay. See docs/ARCHITECTURE.md, "Elastic membership".
+	Rejoin = core.Rejoin
 	// DiskFault fails one server's n-th disk operation of a given kind.
 	DiskFault = core.DiskFault
 	// WireFault drops or duplicates one cross-server frame.
@@ -209,6 +215,12 @@ var (
 	// MaxConcurrentJobs jobs are running and the admission queue is at
 	// capacity. Nothing was enqueued; retry later or raise MaxQueuedJobs.
 	ErrJobQueueFull = core.ErrJobQueueFull
+	// ErrJoinTimeout marks a Session.Join whose handshake was never
+	// admitted by a live server before the deadline.
+	ErrJoinTimeout = core.ErrJoinTimeout
+	// ErrJoinRejected marks a join the admitting server refused — in
+	// practice a handshake version mismatch.
+	ErrJoinRejected = core.ErrJoinRejected
 )
 
 // LoadCSV reads a tab/space-separated edge list ("src dst [weight]"; # and %
@@ -515,6 +527,17 @@ func (s *Session) Submit(ctx context.Context, prog Program, ro RunOptions) (*Res
 		Weight:          ro.Weight,
 	})
 }
+
+// Join readmits a dead server into the live session (elastic membership):
+// the joiner handshakes over the cluster's control plane, is admitted at a
+// superstep edge, and is folded back in through the recovery protocol —
+// streamed the newest consistent checkpoint by a donor when a job is in
+// flight, or simply reclaiming its persisted base tiles when the session is
+// idle. Join returns once the server is a live member again; joining a
+// live rank is a no-op. Mid-job admission requires checkpointing
+// (Options.CheckpointEvery) and All-in-All replication. Cancelling ctx
+// abandons the handshake.
+func (s *Session) Join(ctx context.Context, server int) error { return s.s.Join(ctx, server) }
 
 // Close tears the session down: job loops exit, the cluster closes, and
 // session-owned scratch directories are removed. Close is idempotent.

@@ -58,6 +58,11 @@ var ErrRecvStall = errors.New("cluster: receive stalled past failure-detection t
 // the ctx-aware Node methods translate it to the context's own error.
 var errCancelled = errors.New("cluster: recv cancelled")
 
+// ctlQueueCap bounds each node's control queue. Control traffic is a
+// handshake trickle; an overflowing queue simply drops the frame and the
+// retrying joiner resends.
+const ctlQueueCap = 16
+
 // TransportKind selects the communication substrate.
 type TransportKind int
 
@@ -140,6 +145,15 @@ type message struct {
 	from    int
 	payload []byte
 	pool    *[]byte
+	// ctl marks an out-of-band control frame — the membership control
+	// plane. Carried beside the payload, never inside it: a data payload is
+	// caller-owned bytes and any in-band magic would alias it. Control
+	// frames bypass the liveness filters on both ends: a dead (rejoining)
+	// node must be able to reach the live coordinator, and the
+	// coordinator's accept must reach a node that is not (yet) a member.
+	// recvMsgStall diverts them into a per-node control queue before the
+	// dead-sender filter, so they never surface on the data path.
+	ctl bool
 }
 
 // transport is the substrate interface shared by Inproc and TCP. recv
@@ -153,6 +167,10 @@ type message struct {
 // queued frames are still meaningful.
 type transport interface {
 	send(from, to int, payload []byte) error
+	// sendCtl is send with the message's ctl flag set — the marker travels
+	// out-of-band (a channel field inproc, a header bit on TCP), so data
+	// payloads stay opaque bytes with no reserved values.
+	sendCtl(from, to int, payload []byte) error
 	recv(node int, cancel, memb <-chan struct{}, stall <-chan time.Time) (message, error)
 	close() error
 }
@@ -253,6 +271,18 @@ type Cluster struct {
 	epochCh  atomic.Value // chan struct{}
 	membMu   sync.Mutex
 
+	// ctlQ holds each node's diverted control frames (ctlMagic), pushed by
+	// whichever receive loop pulls them off the transport and drained by
+	// CtlPoll.
+	ctlQ []chan []byte
+
+	// stash holds data frames a CtlProbe pulled off the transport while
+	// hunting for control frames; recvMsgStall re-consumes them in FIFO
+	// order before touching the transport again, so a probe never loses or
+	// reorders ordinary traffic.
+	stashMu []sync.Mutex
+	stash   [][]message
+
 	// wireHook, when set, vets every outbound cross-node frame — the
 	// fault-injection hook. Called from transport-writing goroutines, so it
 	// must be safe for concurrent use.
@@ -289,7 +319,13 @@ func New(cfg Config) (*Cluster, error) {
 		netBusy:  make([]time.Time, cfg.NumNodes),
 		alive:    make([]atomic.Bool, cfg.NumNodes),
 		acked:    make([]atomic.Uint64, cfg.NumNodes),
+		ctlQ:     make([]chan []byte, cfg.NumNodes),
+		stashMu:  make([]sync.Mutex, cfg.NumNodes),
+		stash:    make([][]message, cfg.NumNodes),
 		jobBars:  make(map[uint32]*reusableBarrier),
+	}
+	for i := range c.ctlQ {
+		c.ctlQ[i] = make(chan []byte, ctlQueueCap)
 	}
 	for i := range c.alive {
 		c.alive[i].Store(true)
@@ -382,6 +418,45 @@ func (c *Cluster) declareDead(rank int) {
 	close(old)
 }
 
+// declareJoined is declareDead's inverse: it re-admits rank as a live
+// member, advances the membership epoch (growth and shrink share one
+// counter — any change invalidates every unacknowledged view), reinstates
+// the rank in the main and per-job barriers, and wakes every blocked
+// receiver and barrier waiter so they re-acknowledge the grown view.
+// Idempotent per rank.
+func (c *Cluster) declareJoined(rank int) {
+	c.membMu.Lock()
+	if c.alive[rank].Load() {
+		c.membMu.Unlock()
+		return
+	}
+	c.alive[rank].Store(true)
+	c.aliveCnt.Add(1)
+	epoch := c.epochAt.Add(1)
+	old := c.epochCh.Load().(chan struct{})
+	c.epochCh.Store(make(chan struct{}))
+	// Reinstate inside membMu, mirroring declareDead's depose: no node can
+	// observe the grown epoch via AckMembership while any barrier still
+	// carries the old member count.
+	c.bar.reinstate(rank, epoch)
+	for _, b := range c.jobBars {
+		b.reinstate(rank, epoch)
+	}
+	c.membMu.Unlock()
+	close(old)
+}
+
+// pushCtl enqueues a diverted control frame for node (payload copied out of
+// the pooled receive buffer). Drops when the queue is full — control
+// protocols are retried, never counted.
+func (c *Cluster) pushCtl(node int, payload []byte) {
+	cp := append([]byte(nil), payload...)
+	select {
+	case c.ctlQ[node] <- cp:
+	default:
+	}
+}
+
 // jobBarrier returns the barrier for job, creating it on first use with the
 // current membership view (a job admitted after a death synchronizes only
 // the survivors) and the current epoch. A barrier requested after the
@@ -413,6 +488,19 @@ func (c *Cluster) ReleaseJobBarrier(job uint32) {
 	delete(c.jobBars, job)
 	c.membMu.Unlock()
 }
+
+// JobBarrierCount reports how many per-job barriers are currently live —
+// the leak observable: after every submitted job has been released the
+// count must return to zero.
+func (c *Cluster) JobBarrierCount() int {
+	c.membMu.Lock()
+	defer c.membMu.Unlock()
+	return len(c.jobBars)
+}
+
+// MembershipEpoch returns the current membership epoch — the count of
+// declarations (deaths and joins) since the cluster booted.
+func (c *Cluster) MembershipEpoch() uint64 { return c.epochAt.Load() }
 func (c *Cluster) NodeMetrics(i int) Metrics {
 	return Metrics{
 		BytesSent:      c.sent[i].Load(),
@@ -572,9 +660,22 @@ func (n *Node) recvMsgStall(cancel <-chan struct{}, stall <-chan time.Time) (mes
 		if n.c.epochAt.Load() != n.c.acked[n.id].Load() {
 			return message{}, ErrMembershipChanged
 		}
-		m, err := n.c.tr.recv(n.id, cancel, membCh, stall)
-		if err != nil {
-			return message{}, err
+		m, ok := n.takeStashed()
+		if !ok {
+			var err error
+			m, err = n.c.tr.recv(n.id, cancel, membCh, stall)
+			if err != nil {
+				return message{}, err
+			}
+		}
+		if m.ctl {
+			// Divert control frames before the dead-sender filter: a join
+			// request legitimately comes from a dead rank. The payload is
+			// copied because the backing buffer is pooled; a full queue drops
+			// the frame (the joiner retries).
+			n.c.pushCtl(n.id, m.payload)
+			putWireBuf(m.pool)
+			continue
 		}
 		if !n.c.alive[m.from].Load() {
 			putWireBuf(m.pool)
@@ -715,6 +816,140 @@ func (n *Node) DeclareDead(rank int) {
 		return
 	}
 	n.c.declareDead(rank)
+}
+
+// DeclareJoined re-admits a dead rank as a live member under a new (grown)
+// membership epoch — the coordinator's verdict after a successful join
+// handshake. Every live node's blocked operations unwind with
+// ErrMembershipChanged until they acknowledge the grown view; the engine
+// folds the newcomer in through the same recovery protocol a death
+// triggers.
+func (n *Node) DeclareJoined(rank int) {
+	if rank < 0 || rank >= n.c.cfg.NumNodes {
+		return
+	}
+	n.c.declareJoined(rank)
+}
+
+// MembershipEpoch returns the cluster's current membership epoch.
+func (n *Node) MembershipEpoch() uint64 { return n.c.MembershipEpoch() }
+
+// CtlSend delivers an out-of-band control frame to node `to`. Control
+// frames bypass the liveness filters, the fault-injection wire hook and the
+// bandwidth model: they are the membership control plane, usable by and
+// toward non-members (a rejoining node handshaking with the coordinator).
+func (n *Node) CtlSend(to int, payload []byte) error {
+	if to < 0 || to >= n.c.cfg.NumNodes {
+		return fmt.Errorf("cluster: node %d sending ctl to invalid node %d", n.id, to)
+	}
+	return n.c.tr.sendCtl(n.id, to, payload)
+}
+
+// CtlPoll drains one pending control frame, or returns nil when none is
+// queued. Live nodes poll at step edges — admission happens at the
+// superstep boundary, never mid-step.
+func (n *Node) CtlPoll() []byte {
+	select {
+	case p := <-n.c.ctlQ[n.id]:
+		return p
+	default:
+		return nil
+	}
+}
+
+// CtlProbe drains every frame already delivered to this node's transport
+// inbox without blocking, diverting control frames into the control queue
+// and stashing ordinary data frames for the next recv (FIFO order is
+// preserved — recvMsgStall consumes the stash before the transport). A
+// live server parked at a superstep edge has no receive loop running on
+// its behalf, so this is how a joiner's handshake frames become visible to
+// its CtlPoll.
+func (n *Node) CtlProbe() {
+	// A pre-fired stall timer makes each recv hand over only a frame that
+	// has already arrived (pending messages win over a stall), and return
+	// ErrRecvStall the moment the inbox is empty.
+	fired := make(chan time.Time, 1)
+	for {
+		// Re-arm every iteration: a recv that grabs a pending message from
+		// inside the stall case consumes the timer value along the way.
+		select {
+		case fired <- time.Time{}:
+		default:
+		}
+		m, err := n.c.tr.recv(n.id, nil, nil, fired)
+		if err != nil {
+			return // inbox empty (or transport closing): nothing to divert
+		}
+		if m.ctl {
+			n.c.pushCtl(n.id, m.payload)
+			putWireBuf(m.pool)
+			continue
+		}
+		n.c.stashMu[n.id].Lock()
+		n.c.stash[n.id] = append(n.c.stash[n.id], m)
+		n.c.stashMu[n.id].Unlock()
+	}
+}
+
+// takeStashed pops the oldest frame a CtlProbe set aside, if any.
+func (n *Node) takeStashed() (message, bool) {
+	n.c.stashMu[n.id].Lock()
+	defer n.c.stashMu[n.id].Unlock()
+	q := n.c.stash[n.id]
+	if len(q) == 0 {
+		return message{}, false
+	}
+	m := q[0]
+	copy(q, q[1:])
+	q[len(q)-1] = message{}
+	n.c.stash[n.id] = q[:len(q)-1]
+	return m, true
+}
+
+// CtlRecv blocks until a control frame arrives for this node or the
+// timeout passes (zero blocks on the queue only). A non-member calling it
+// owns its inbox — no data receive loop is running on a dead node — so it
+// drains the transport directly: data frames queued before death are
+// discarded, control frames are diverted into the queue it then drains.
+func (n *Node) CtlRecv(timeout time.Duration) ([]byte, error) {
+	// Fast path: a frame another receive loop already diverted.
+	select {
+	case p := <-n.c.ctlQ[n.id]:
+		return p, nil
+	default:
+	}
+	var stall <-chan time.Time
+	var timer *time.Timer
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		defer timer.Stop()
+		stall = timer.C
+	}
+	for {
+		m, err := n.c.tr.recv(n.id, nil, nil, stall)
+		if err != nil {
+			// A frame may have been diverted by a racing loop before the
+			// stall fired.
+			select {
+			case p := <-n.c.ctlQ[n.id]:
+				return p, nil
+			default:
+			}
+			return nil, err
+		}
+		isCtl := m.ctl
+		if isCtl {
+			n.c.pushCtl(n.id, m.payload)
+		}
+		putWireBuf(m.pool)
+		if isCtl {
+			select {
+			case p := <-n.c.ctlQ[n.id]:
+				return p, nil
+			default:
+			}
+		}
+	}
 }
 
 // AckMembership acknowledges the current membership view, unblocking this
@@ -1041,6 +1276,26 @@ func (b *reusableBarrier) depose(rank int, epoch uint64) {
 	if b.alive[rank] {
 		b.alive[rank] = false
 		b.n--
+	}
+	b.epoch = epoch
+	b.count = 0
+	for i := range b.arrived {
+		b.arrived[i] = false
+	}
+	b.pending = false
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// reinstate is depose's inverse: it re-admits rank to the barrier's
+// membership at the given (grown) epoch and resets the filling generation
+// exactly as depose does — counts and votes are discarded, every waiter
+// wakes to find the epoch changed, and the generation counter stays put.
+func (b *reusableBarrier) reinstate(rank int, epoch uint64) {
+	b.mu.Lock()
+	if !b.alive[rank] {
+		b.alive[rank] = true
+		b.n++
 	}
 	b.epoch = epoch
 	b.count = 0

@@ -369,12 +369,86 @@ type nodeShared struct {
 	// multi-tenant session, every runner spawned on it) becomes a zombie.
 	dead atomic.Bool
 
-	// Multi-tenant plumbing, nil in serial sessions.
-	gate      *stepGate          // WRR turnstile at superstep edges
-	share     *cache.ShareWindow // cross-job tile sharing
-	router    *frameRouter       // inbox demultiplexer
-	sched     *jobScheduler      // session-level admission (slot masks)
-	recoverMu sync.Mutex         // serializes tile reconciliation across runners
+	// Zombie-job ledger for elastic membership: every job this dead node
+	// consumed without running (and every job a runner exited from via
+	// errServerKilled) is recorded here, so the join controller knows which
+	// in-flight jobs need a replacement runner when the node is readmitted.
+	// zMu also fences the dead-flag flip: the controller claims the ledger
+	// and clears dead under the same lock runJob's zombie check holds, so a
+	// job is either claimed for respawn or runs on the normal path — never
+	// both, never neither.
+	zMu     sync.Mutex
+	zombies map[*job]bool
+
+	// joinBlock counts in-flight jobs that cannot absorb a membership grow
+	// (no checkpointing, or not All-in-All): while it is non-zero, join
+	// requests stay queued instead of being admitted. The counter is
+	// session-wide; every nodeShared aliases the same value.
+	joinBlock *atomic.Int32
+
+	// joins counts this node's readmissions (elastic membership), a
+	// session-lifetime counter like the I/O totals. It lives here rather
+	// than on the server because in a multi-tenant session the per-job
+	// runner clones must all observe the node's cumulative count.
+	joins atomic.Int64
+
+	// Quiesce gate for elastic membership: counts the goroutines that may
+	// still be touching this node's per-job server state — the serial job
+	// loop's runJob call, its pipelined receive goroutine (deliberately
+	// unjoined on hard-error exits), and replacement runners. The join
+	// controller waits for the count to drain before reusing the struct
+	// for a replacement, giving the dying runner's writes a happens-before
+	// edge to the rejoined runner's reads. A hand-rolled gate rather than
+	// a sync.WaitGroup: enters may race waits at count zero (a new job can
+	// start while a revive drains the old one), which WaitGroup forbids.
+	qMu    sync.Mutex
+	qCount int
+	qZero  chan struct{}
+
+	// Multi-tenant plumbing, nil in serial sessions. The router pointer is
+	// atomic because a rejoined node gets a fresh router (the old one's done
+	// channel is permanently closed) while zombie runners may still read it.
+	gate      *stepGate                   // WRR turnstile at superstep edges
+	share     *cache.ShareWindow          // cross-job tile sharing
+	router    atomic.Pointer[frameRouter] // inbox demultiplexer
+	sched     *jobScheduler               // session-level admission (slot masks)
+	recoverMu sync.Mutex                  // serializes tile reconciliation across runners
+}
+
+// quiesceEnter registers a goroutine that touches this node's per-job
+// server state; pair with quiesceExit.
+func (sh *nodeShared) quiesceEnter() {
+	sh.qMu.Lock()
+	if sh.qCount == 0 {
+		sh.qZero = make(chan struct{})
+	}
+	sh.qCount++
+	sh.qMu.Unlock()
+}
+
+func (sh *nodeShared) quiesceExit() {
+	sh.qMu.Lock()
+	sh.qCount--
+	if sh.qCount == 0 {
+		close(sh.qZero)
+	}
+	sh.qMu.Unlock()
+}
+
+// quiesceWait blocks until every registered goroutine has exited. The join
+// controller calls it on a dead node before spawning replacement runners:
+// a crash-killed runner's receive goroutine unwinds on its own schedule
+// (transport error or membership interrupt), and until it does, it still
+// owns the node's receive scratch and transport inbox.
+func (sh *nodeShared) quiesceWait() {
+	sh.qMu.Lock()
+	if sh.qCount == 0 {
+		sh.qMu.Unlock()
+		return
+	}
+	ch := sh.qZero
+	sh.qMu.Unlock()
+	<-ch
 }
 
 // server is the per-node execution state of one session: the long-lived
@@ -478,6 +552,7 @@ type server struct {
 	jobID      uint32
 	slotBit    uint64
 	jobWeight  int
+	rtr        *frameRouter // the router this runner registered with
 	mailbox    *jobMailbox
 	ackedEpoch uint64
 	shareHits  int64
@@ -495,6 +570,9 @@ type server struct {
 	tilesAdopted int
 	recoveries   int
 	recoveryTime time.Duration
+	// needCkpt marks a rejoined runner that holds no consistent state for
+	// the job and must be streamed the restore checkpoint by a donor.
+	needCkpt bool
 }
 
 // runJob executes one submitted program on this server: per-job state is
@@ -505,13 +583,43 @@ type server struct {
 // cancelled job leaves the session healthy — and non-nil only for hard
 // errors that abort the whole session.
 func (s *server) runJob(jb *job) (fatal error) {
-	if s.shared.dead.Load() {
+	if s.claimIfZombie(jb) {
 		// A killed or fenced server is a zombie: it consumes submissions
 		// so Submit's fan-out never blocks, but contributes nothing. The
-		// survivors fill the result.
+		// survivors fill the result; if the server rejoins mid-job, the
+		// join controller reads the claim and spawns a replacement runner.
 		return nil
 	}
 	degradedStart := false
+	if !s.multi && s.node.MembershipStale() {
+		// The membership changed since this node last acknowledged it — a
+		// death detected after the previous job's final barrier, a rejoin
+		// admitted while the session was idle, or a declaration racing this
+		// very job's start (a sibling runner can enter, reach superstep 0
+		// and crash before this runner executes its entry block; the
+		// survivors that entered earlier are then already parked inside
+		// recoverFromFailure). When the job can recover, converge through
+		// the same protocol those siblings are running — a silent local
+		// reconcile here would leave them waiting at the recovery barrier
+		// until a timeout falsely fences this server. A job without the
+		// recovery protocol (no checkpointing, or not All-in-All) cannot
+		// have siblings parked there, so the stale view is necessarily a
+		// between-jobs change every runner observes at entry: acknowledge
+		// and converge the tile holdings locally before any counted
+		// receive derives its expectations from them.
+		_, alive := s.node.AckMembership()
+		if !alive[s.node.ID()] {
+			_ = s.die(true)
+			s.markZombie(jb)
+			return nil
+		}
+		if jb.ckptEvery > 0 && s.cfg.Replication == AllInAll && s.node.NumNodes() > 1 {
+			degradedStart = true
+		} else if err := s.reconcileTiles(alive); err != nil {
+			jb.errs[s.node.ID()] = err
+			return err
+		}
+	}
 	if s.multi {
 		// Pin this runner's membership view before any traffic: the epoch
 		// is the runner's private staleness reference (sibling runners ack
@@ -612,6 +720,7 @@ func (s *server) runJob(jb *job) (fatal error) {
 		if _, err := s.recoverFromFailure(); err != nil {
 			if errors.Is(err, errServerKilled) {
 				jb.steps[s.node.ID()] = nil
+				s.markZombie(jb)
 				return nil
 			}
 			jb.errs[s.node.ID()] = err
@@ -628,6 +737,7 @@ func (s *server) runJob(jb *job) (fatal error) {
 			// partial step stats would pollute the merged result, and the
 			// session must stay usable: report nothing, become a zombie.
 			jb.steps[s.node.ID()] = nil
+			s.markZombie(jb)
 			return nil
 		}
 		var jc jobCancelled
@@ -645,6 +755,7 @@ func (s *server) runJob(jb *job) (fatal error) {
 			// Fenced during result assembly: same zombie exit as a mid-loop
 			// death — the partial stats are dropped, survivors fill the rest.
 			jb.steps[s.node.ID()] = nil
+			s.markZombie(jb)
 			return nil
 		}
 		jb.errs[s.node.ID()] = err
@@ -915,6 +1026,14 @@ func (s *server) setup() error {
 // same barrier that already guarantees every batch of the step has been
 // absorbed).
 func (s *server) superstepLoop() ([]StepStats, error) {
+	return s.superstepLoopFrom(0)
+}
+
+// superstepLoopFrom runs the superstep loop starting at the given step — 0
+// for a fresh job, restore+1 for a rejoined server replaying into a job
+// already in flight (its earlier steps ran on the cluster before it was
+// readmitted; the steps it appends carry their true Superstep numbers).
+func (s *server) superstepLoopFrom(start int) ([]StepStats, error) {
 	n := s.node
 	encOpts := comm.Options{
 		Choice:            s.cfg.Comm,
@@ -929,14 +1048,14 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 	// step's list is rebuilt from [:0] strictly after that.
 	var updatedBuf []uint32
 
-	for step := 0; step < s.maxSteps; step++ {
+	for step := start; step < s.maxSteps; step++ {
 		if s.multi {
 			// WRR turnstile: among the jobs waiting to start a step on this
 			// server, the smallest (step+1)/weight key goes first. A job
 			// mid-step is not waiting and is never throttled here.
 			s.shared.gate.arrive(s.jobID, s.jobWeight, step)
 		}
-		if step > 0 {
+		if step > start {
 			// Superstep boundary: one full cyclic sweep over the assigned
 			// tiles has completed. The CLOCK eviction policy keys its
 			// reference bits on this epoch counter (§IV-B extension). With
@@ -957,9 +1076,11 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 			// Rewind the step record to the restore point: the replayed
 			// steps re-append identical rows (re-execution is
 			// bit-identical, so the Updated series repeats exactly; only
-			// timings and per-server byte shares differ).
-			if len(steps) > restore+1 {
-				steps = steps[:restore+1]
+			// timings and per-server byte shares differ). Trim by the
+			// recorded Superstep, not the slice index — a rejoined
+			// server's record starts mid-job, at start, not at step 0.
+			for len(steps) > 0 && steps[len(steps)-1].Superstep > restore {
+				steps = steps[:len(steps)-1]
 			}
 			step = restore // the loop increment resumes at restore+1
 			prevUpdated = nil
@@ -1000,6 +1121,16 @@ func (s *server) superstepLoop() ([]StepStats, error) {
 func (s *server) runStep(step int, prevUpdated, updatedBuf []uint32, encOpts comm.Options) (st StepStats, updatedTotal int, newUpdated []uint32, overLimit bool, err error) {
 	n := s.node
 	st = StepStats{Superstep: step}
+	// Step edge: fire any scripted rejoin pinned to this step (parking here
+	// until its handshake resolves — a short job would otherwise finish
+	// before the admission lands), then poll the control plane for join
+	// requests — admission happens here, before any of this step's traffic,
+	// so a grown membership is observed by every live server at the same
+	// step boundary (via the recovery protocol the epoch bump provokes).
+	for _, done := range s.faults.fireRejoins(step) {
+		s.awaitRejoin(done)
+	}
+	s.pollJoinRequests()
 	if k, ok := s.faults.killAt(n.ID(), step, KillAtStepStart); ok {
 		return st, 0, nil, false, s.die(k.Hang)
 	}
@@ -1018,8 +1149,19 @@ func (s *server) runStep(step int, prevUpdated, updatedBuf []uint32, encOpts com
 		// hard error the loop can return without joining this
 		// goroutine, which then must not race runJob's per-job field
 		// teardown (the cluster abort or the membership interrupt is
-		// what unblocks and ends it).
-		go func(ctx context.Context) { recvErr <- s.receiveStep(ctx, step) }(s.ctx)
+		// what unblocks and ends it). In a serial session the orphan
+		// holds the node's quiesce gate: it shares the server struct a
+		// replacement runner would reuse, so a rejoin must wait it out.
+		if !s.multi {
+			sh := s.shared
+			sh.quiesceEnter()
+			go func(ctx context.Context) {
+				defer sh.quiesceExit()
+				recvErr <- s.receiveStep(ctx, step)
+			}(s.ctx)
+		} else {
+			go func(ctx context.Context) { recvErr <- s.receiveStep(ctx, step) }(s.ctx)
+		}
 	}
 
 	// Parallel tile processing on T workers (OpenMP pragma analog).
@@ -1415,6 +1557,12 @@ func (s *server) receiveStep(ctx context.Context, step int) error {
 		err = s.recvWhile(nil, handle)
 	}
 	if err != nil && errors.Is(err, cluster.ErrRecvStall) {
+		if s.shared.dead.Load() {
+			// A killed runner's orphaned receive has no standing to accuse:
+			// its peers stopped sending because THIS server died, and a
+			// false accusation here would fence a healthy survivor.
+			return cluster.ErrMembershipChanged
+		}
 		for p, cnt := range s.ownedCnt {
 			if p != me && s.node.Alive(p) && s.recvdFrom[p] < cnt {
 				s.node.DeclareDead(p)
@@ -1747,6 +1895,8 @@ func (s *server) fillServerStats() {
 	st.TilesAdopted = s.tilesAdopted
 	st.Recoveries = s.recoveries
 	st.RecoveryTime = s.recoveryTime
+	st.Joins = int(s.shared.joins.Load())
+	st.MembershipEpoch = s.node.MembershipEpoch()
 	st.SharedTileLoads = atomic.LoadInt64(&s.shareHits)
 }
 
@@ -1800,8 +1950,42 @@ func (s *server) jobRunner(jb *job) *server {
 	if r.queueCap <= 0 {
 		r.queueCap = 32
 	}
-	r.mailbox = s.shared.router.register(jb.id)
+	r.rtr = s.shared.router.Load()
+	r.mailbox = r.rtr.register(jb.id)
 	return r
+}
+
+// claimIfZombie is runJob's dead-server gate: under the zombie ledger's
+// lock it checks the death flag (or a prior claim of this job) and records
+// the job so the join controller can respawn it if the server is
+// readmitted. The lock pairs with the controller's claim-and-revive
+// critical section — a job is either recorded here before the flip and
+// respawned, or observes the cleared flag and runs normally.
+func (s *server) claimIfZombie(jb *job) bool {
+	sh := s.shared
+	sh.zMu.Lock()
+	defer sh.zMu.Unlock()
+	if !sh.dead.Load() && !sh.zombies[jb] {
+		return false
+	}
+	if sh.zombies == nil {
+		sh.zombies = make(map[*job]bool)
+	}
+	sh.zombies[jb] = true
+	return true
+}
+
+// markZombie records a job this server abandoned mid-run (errServerKilled):
+// if the server later rejoins while the job is still in flight, the join
+// controller spawns a replacement runner for it.
+func (s *server) markZombie(jb *job) {
+	sh := s.shared
+	sh.zMu.Lock()
+	if sh.zombies == nil {
+		sh.zombies = make(map[*job]bool)
+	}
+	sh.zombies[jb] = true
+	sh.zMu.Unlock()
 }
 
 // mergeSteps folds the per-server step stats into cluster-wide rows: sums
@@ -1809,8 +1993,10 @@ func (s *server) jobRunner(jb *job) *server {
 func mergeSteps(res *Result, byServer [][]StepStats) {
 	numSteps := 0
 	for _, ss := range byServer {
-		if len(ss) > numSteps {
-			numSteps = len(ss)
+		// Index by the recorded Superstep, not slice length: a rejoined
+		// server's record starts mid-job at its admission step.
+		if n := len(ss); n > 0 && ss[n-1].Superstep+1 > numSteps {
+			numSteps = ss[n-1].Superstep + 1
 		}
 	}
 	res.Steps = make([]StepStats, numSteps)
@@ -1818,8 +2004,8 @@ func mergeSteps(res *Result, byServer [][]StepStats) {
 		res.Steps[i].Superstep = i
 	}
 	for _, ss := range byServer {
-		for i, st := range ss {
-			dst := &res.Steps[i]
+		for _, st := range ss {
+			dst := &res.Steps[st.Superstep]
 			if st.Updated > dst.Updated {
 				// Identical on every live server; max (not "server 0's")
 				// because a dead server reports no steps at all.

@@ -64,6 +64,24 @@ type DiskFault struct {
 	Err error
 }
 
+// Rejoin scripts a dead server's return: at the start of superstep Step
+// (as observed by any live server) the session's join controller wakes and
+// runs the full rejoin protocol for Server — handshake with the
+// coordinator, admission at the step edge, checkpoint + tile restoration,
+// replay. The server must already be dead when the coordinate fires (pair
+// it with an earlier Kill); a rejoin for a live server is a no-op.
+type Rejoin struct {
+	// Server is the rank that comes back.
+	Server int
+	// Step is the 0-based superstep at whose start the rejoin is initiated.
+	Step int
+	// FailMidTransfer, when true, makes the joiner complete the handshake
+	// and get admitted but then die again before restoring state — the
+	// mid-transfer failure survivors must roll back by re-declaring it
+	// dead, without disturbing the running step.
+	FailMidTransfer bool
+}
+
 // WireFault drops or duplicates one cross-server frame.
 type WireFault struct {
 	// From is the sending rank.
@@ -81,22 +99,48 @@ type WireFault struct {
 // FaultPlan scripts failures into one session. The zero value injects
 // nothing. Plans are consumed at Open; each entry fires at most once.
 type FaultPlan struct {
-	Kills []Kill
-	Disk  []DiskFault
-	Wire  []WireFault
+	Kills   []Kill
+	Rejoins []Rejoin
+	Disk    []DiskFault
+	Wire    []WireFault
 }
 
 // empty reports whether the plan injects nothing.
 func (p *FaultPlan) empty() bool {
-	return p == nil || (len(p.Kills) == 0 && len(p.Disk) == 0 && len(p.Wire) == 0)
+	return p == nil || (len(p.Kills) == 0 && len(p.Rejoins) == 0 &&
+		len(p.Disk) == 0 && len(p.Wire) == 0)
 }
 
 // compiledFaults is a FaultPlan lowered onto atomic one-shot counters so
 // the hooks can run on any goroutine without locks.
 type compiledFaults struct {
-	kills []Kill
-	disk  []diskFaultState
-	wire  []wireFaultState
+	kills   []killState
+	rejoins []rejoinState
+	disk    []diskFaultState
+	wire    []wireFaultState
+
+	// onRejoin is the session's join controller, invoked when a scripted
+	// Rejoin coordinate fires. It starts the handshake in the background
+	// and returns a channel that closes when the rejoin has completed (or
+	// given up), so the firing runner can hold its step edge open for the
+	// admission. Wired by Open.
+	onRejoin func(Rejoin) <-chan struct{}
+}
+
+type killState struct {
+	f Kill
+	// fired records that some runner hit the coordinate; spent retires the
+	// kill when its server is revived. The two are separate because one kill
+	// must fell *every* runner of its server (a hung server's jobs all stop,
+	// and each job's runner queries the coordinate independently), yet must
+	// not fire again when a rejoined server replays the same superstep.
+	fired atomic.Bool
+	spent atomic.Bool
+}
+
+type rejoinState struct {
+	f    Rejoin
+	done atomic.Bool
 }
 
 type diskFaultState struct {
@@ -116,7 +160,15 @@ func compileFaults(p *FaultPlan) *compiledFaults {
 	if p.empty() {
 		return nil
 	}
-	cf := &compiledFaults{kills: append([]Kill(nil), p.Kills...)}
+	cf := &compiledFaults{}
+	cf.kills = make([]killState, len(p.Kills))
+	for i, k := range p.Kills {
+		cf.kills[i].f = k
+	}
+	cf.rejoins = make([]rejoinState, len(p.Rejoins))
+	for i, r := range p.Rejoins {
+		cf.rejoins[i].f = r
+	}
 	cf.disk = make([]diskFaultState, len(p.Disk))
 	for i, f := range p.Disk {
 		cf.disk[i].f = f
@@ -126,6 +178,14 @@ func compileFaults(p *FaultPlan) *compiledFaults {
 		cf.wire[i].f = f
 	}
 	return cf
+}
+
+// setOnRejoin wires the session's join controller into the plan's scripted
+// rejoins. Safe on a nil receiver (empty plan — nothing will ever fire).
+func (cf *compiledFaults) setOnRejoin(fn func(Rejoin) <-chan struct{}) {
+	if cf != nil {
+		cf.onRejoin = fn
+	}
 }
 
 // diskHook returns the failure hook implementing the plan's disk faults,
@@ -175,16 +235,62 @@ func (cf *compiledFaults) wireHook() func(from, to, size int) cluster.WireAction
 }
 
 // killAt returns the scripted kill for (server, step, point), if any. A
-// kill needs no one-shot bookkeeping: firing it removes its server from the
-// cluster, so the coordinate can never be hit again.
+// kill fires for every runner that hits its coordinate — in a multi-tenant
+// session each in-flight job's runner on the victim queries independently,
+// and a hang must fell all of them — until the kill is spent: once the
+// server is revived by a rejoin, the comeback *replays* the same superstep,
+// and a spent kill keeps it from dying again at the coordinate that killed
+// it (disarmKills).
 func (cf *compiledFaults) killAt(server, step int, point KillPoint) (Kill, bool) {
 	if cf == nil {
 		return Kill{}, false
 	}
-	for _, k := range cf.kills {
-		if k.Server == server && k.Step == step && k.Point == point {
-			return k, true
+	for i := range cf.kills {
+		st := &cf.kills[i]
+		k := st.f
+		if k.Server != server || k.Step != step || k.Point != point || st.spent.Load() {
+			continue
 		}
+		st.fired.Store(true)
+		return k, true
 	}
 	return Kill{}, false
+}
+
+// disarmKills retires every fired kill of a just-revived server, so its
+// replay cannot re-trigger the crash that removed it. Kills that have not
+// fired yet stay armed — a plan may script a second kill at a later step.
+func (cf *compiledFaults) disarmKills(server int) {
+	if cf == nil {
+		return
+	}
+	for i := range cf.kills {
+		st := &cf.kills[i]
+		if st.f.Server == server && st.fired.Load() {
+			st.spent.Store(true)
+		}
+	}
+}
+
+// fireRejoins claims every scripted rejoin pinned to the start of step,
+// hands each to the session's join controller, and returns their completion
+// channels so the firing runner can park at its step edge until the
+// admissions land. Any live server can hit the coordinate first (in a
+// multi-tenant session even on different jobs whose step counters
+// disagree); the one-shot makes exactly one of them fire it.
+func (cf *compiledFaults) fireRejoins(step int) []<-chan struct{} {
+	if cf == nil || len(cf.rejoins) == 0 || cf.onRejoin == nil {
+		return nil
+	}
+	var fired []<-chan struct{}
+	for i := range cf.rejoins {
+		st := &cf.rejoins[i]
+		if st.f.Step != step || st.done.Load() {
+			continue
+		}
+		if st.done.CompareAndSwap(false, true) {
+			fired = append(fired, cf.onRejoin(st.f))
+		}
+	}
+	return fired
 }

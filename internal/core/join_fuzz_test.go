@@ -1,0 +1,45 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeJoinFrame hammers the join-handshake codec with arbitrary
+// bytes. The decoders parse unauthenticated control-plane input, so they
+// must never panic, and any frame they do accept at the current protocol
+// version must round-trip bit-identically through the encoder.
+func FuzzDecodeJoinFrame(f *testing.F) {
+	f.Add(appendJoinReq(nil, 2, 7))
+	f.Add(appendJoinResp(nil, 2, true))
+	f.Add(appendJoinResp(nil, 0, false))
+	f.Add([]byte{})
+	f.Add([]byte{joinReqMagic})
+	f.Add([]byte{joinRespMagic, 1, 0, 2, 0, 1})
+	f.Add([]byte{joinReqMagic, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		if ver, rank, attempt, ok := decodeJoinReq(p); ok {
+			if len(p) != joinReqSize {
+				t.Fatalf("decodeJoinReq accepted %d bytes, frame is %d", len(p), joinReqSize)
+			}
+			if ver == joinProtoVersion {
+				if rt := appendJoinReq(nil, rank, attempt); !bytes.Equal(rt, p) {
+					t.Fatalf("join request round-trip mismatch: %x -> %x", p, rt)
+				}
+			}
+		}
+		if ver, rank, accept, ok := decodeJoinResp(p); ok {
+			if len(p) != joinRespSize {
+				t.Fatalf("decodeJoinResp accepted %d bytes, frame is %d", len(p), joinRespSize)
+			}
+			if ver == joinProtoVersion {
+				rt := appendJoinResp(nil, rank, accept)
+				// The accept byte is canonicalized to 0/1 by the encoder; any
+				// other non-zero value decodes as true but is not canonical.
+				if p[5] <= 1 && !bytes.Equal(rt, p) {
+					t.Fatalf("join response round-trip mismatch: %x -> %x", p, rt)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,317 @@
+package core_test
+
+// Elastic-membership chaos suite: servers killed mid-job rejoin the live
+// session at a superstep edge, receive the newest consistent checkpoint
+// from a donor, and replay alongside the survivors. The invariant is the
+// same as the crash suite's — a churned run must produce BIT-IDENTICAL
+// vertex values to the fault-free run — plus capacity restoration: the
+// rejoined server must end the job as a live member owning its base tiles.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	. "repro/internal/core"
+)
+
+// TestRejoinSweep kills server 1 at every superstep (rotating the kill
+// point) and scripts its rejoin at the start of the following one. Every
+// case must converge with no dead servers at the end, the comeback
+// recorded in the stats, and values bit-identical to the fault-free run.
+func TestRejoinSweep(t *testing.T) {
+	p := chaosPartition(t)
+	want := chaosRun(t, p, nil)
+	wantDead(t, want, "baseline")
+
+	for _, lockstep := range []bool{false, true} {
+		for ks := 0; ks < 5; ks++ {
+			kill := Kill{Server: 1, Step: ks, Point: KillPoint(ks % 3)}
+			rejoin := Rejoin{Server: 1, Step: ks + 1}
+			name := fmt.Sprintf("lockstep=%v/kill=%d/rejoin=%d", lockstep, ks, rejoin.Step)
+			t.Run(name, func(t *testing.T) {
+				if lockstep && testing.Short() {
+					t.Skip("lockstep rejoin sweep skipped in short mode")
+				}
+				res := chaosRun(t, p, func(c *Config) {
+					c.Lockstep = lockstep
+					c.Faults = &FaultPlan{
+						Kills:   []Kill{kill},
+						Rejoins: []Rejoin{rejoin},
+					}
+				})
+				wantExact(t, res.Values, want.Values, name)
+				wantDead(t, res, name) // capacity restored: nobody dead at the end
+				if res.Supersteps != want.Supersteps {
+					t.Fatalf("%s: ran %d supersteps, want %d", name, res.Supersteps, want.Supersteps)
+				}
+				if got := res.Servers[1].Joins; got != 1 {
+					t.Fatalf("%s: server 1 reports %d joins, want 1", name, got)
+				}
+				if got := res.Servers[0].MembershipEpoch; got != 2 {
+					t.Fatalf("%s: membership epoch = %d, want 2 (one death + one join)", name, got)
+				}
+			})
+		}
+	}
+}
+
+// TestRejoinTCP repeats a subset of the rejoin sweep over real loopback TCP
+// sockets; the recovered values must be bit-identical across transports.
+func TestRejoinTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP chaos runs are slow")
+	}
+	p := chaosPartition(t)
+	want := chaosRun(t, p, nil) // Inproc baseline
+
+	for _, tc := range []struct {
+		ks, rs   int
+		point    KillPoint
+		lockstep bool
+	}{
+		{1, 2, KillMidStep, false},
+		{3, 4, KillAtBarrier, false},
+		{2, 3, KillAtStepStart, true},
+	} {
+		name := fmt.Sprintf("tcp/lockstep=%v/kill=%d/rejoin=%d", tc.lockstep, tc.ks, tc.rs)
+		t.Run(name, func(t *testing.T) {
+			res := chaosRun(t, p, func(c *Config) {
+				c.Transport = cluster.TCP
+				c.Lockstep = tc.lockstep
+				c.Faults = &FaultPlan{
+					Kills:   []Kill{{Server: 1, Step: tc.ks, Point: tc.point}},
+					Rejoins: []Rejoin{{Server: 1, Step: tc.rs}},
+				}
+			})
+			wantExact(t, res.Values, want.Values, name)
+			wantDead(t, res, name)
+			if got := res.Servers[1].Joins; got != 1 {
+				t.Fatalf("%s: server 1 reports %d joins, want 1", name, got)
+			}
+		})
+	}
+}
+
+// TestMultiJobRejoin runs the tentpole's hardest case: two jobs in flight
+// when server 1 dies and rejoins. The admission must land at a step edge of
+// a session whose jobs disagree about step numbers, fold the joiner into
+// BOTH jobs' recovery protocols, and both results must stay bit-identical.
+func TestMultiJobRejoin(t *testing.T) {
+	p := chaosPartition(t)
+	progs := []Program{apps.PageRank{}, apps.PageRank{Damping: 0.8}}
+	base := make([][]float64, len(progs))
+	for i, prog := range progs {
+		ref := chaosConfig(t)
+		res, err := New(ref).Run(Input{Partition: p}, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base[i] = res.Values
+	}
+
+	transports := []cluster.TransportKind{cluster.Inproc}
+	if !testing.Short() {
+		transports = append(transports, cluster.TCP)
+	}
+	for _, tr := range transports {
+		t.Run(fmt.Sprintf("transport=%v", tr), func(t *testing.T) {
+			cfg := chaosConfig(t)
+			cfg.Transport = tr
+			cfg.MaxConcurrentJobs = 2
+			cfg.Faults = &FaultPlan{
+				Kills:   []Kill{{Server: 1, Step: 2, Point: KillMidStep}},
+				Rejoins: []Rejoin{{Server: 1, Step: 3}},
+			}
+			se, err := Open(Input{Partition: p}, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer se.Close()
+			results, errs := submitConcurrently(t, se, progs, make([]JobOptions, len(progs)))
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("%s: %v", progs[i].Name(), err)
+				}
+			}
+			joins := 0
+			for i, res := range results {
+				label := fmt.Sprintf("rejoin job %d", i)
+				wantExact(t, res.Values, base[i], label)
+				wantDead(t, res, label)
+				joins += res.Servers[1].Joins
+			}
+			if joins == 0 {
+				t.Fatal("no job observed server 1's rejoin")
+			}
+		})
+	}
+}
+
+// TestRejoinFailMidTransfer scripts the hardening case: the joiner
+// completes the handshake and is admitted, then dies again before
+// restoring any state. The survivors must re-declare it dead and finish
+// the job bit-identically — an aborted comeback must not disturb the run.
+func TestRejoinFailMidTransfer(t *testing.T) {
+	p := chaosPartition(t)
+	want := chaosRun(t, p, nil)
+
+	res := chaosRun(t, p, func(c *Config) {
+		c.Faults = &FaultPlan{
+			Kills:   []Kill{{Server: 1, Step: 2, Point: KillMidStep}},
+			Rejoins: []Rejoin{{Server: 1, Step: 3, FailMidTransfer: true}},
+		}
+	})
+	wantExact(t, res.Values, want.Values, "fail-mid-transfer")
+	wantDead(t, res, "fail-mid-transfer", 1) // the comeback was rolled back
+	if got := res.Servers[1].Joins; got != 0 {
+		t.Fatalf("aborted join must not count: server 1 reports %d joins", got)
+	}
+	if got := res.Servers[0].MembershipEpoch; got < 3 {
+		t.Fatalf("membership epoch = %d, want >= 3 (death, join, death again)", got)
+	}
+}
+
+// TestSessionJoinBetweenJobs exercises the public Session.Join API on an
+// idle session: job 1 loses a server, Join readmits it directly (no runner
+// is polling the control plane between jobs), and job 2 runs on the fully
+// restored membership — the readmitted server simply reclaims its
+// setup-persisted base tiles, no checkpoint streaming involved.
+func TestSessionJoinBetweenJobs(t *testing.T) {
+	p := chaosPartition(t)
+	want := chaosRun(t, p, nil)
+
+	cfg := chaosConfig(t)
+	cfg.Faults = &FaultPlan{Kills: []Kill{{Server: 1, Step: 2, Point: KillMidStep}}}
+	se, err := Open(Input{Partition: p}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+
+	res1, err := se.Submit(context.Background(), apps.PageRank{}, JobOptions{})
+	if err != nil {
+		t.Fatalf("job 1 (with kill): %v", err)
+	}
+	wantExact(t, res1.Values, want.Values, "job1")
+	wantDead(t, res1, "job1", 1)
+
+	if err := se.Join(context.Background(), 1); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	// Idempotent: joining a live rank is a no-op.
+	if err := se.Join(context.Background(), 1); err != nil {
+		t.Fatalf("Join of a live rank: %v", err)
+	}
+
+	res2, err := se.Submit(context.Background(), apps.PageRank{}, JobOptions{})
+	if err != nil {
+		t.Fatalf("job 2 (after Join): %v", err)
+	}
+	wantExact(t, res2.Values, want.Values, "job2")
+	wantDead(t, res2, "job2") // full membership again
+	if res2.Servers[1].VertexSlots == 0 {
+		t.Fatal("job 2: readmitted server 1 did not participate")
+	}
+	if got := res2.Servers[1].Joins; got != 1 {
+		t.Fatalf("job 2: server 1 reports %d joins, want 1", got)
+	}
+	if got := res2.Servers[0].MembershipEpoch; got != 2 {
+		t.Fatalf("job 2: membership epoch = %d, want 2", got)
+	}
+}
+
+// TestSessionJoinValidation pins Join's argument and state checks.
+func TestSessionJoinValidation(t *testing.T) {
+	p := chaosPartition(t)
+	cfg := chaosConfig(t)
+	se, err := Open(Input{Partition: p}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+
+	if err := se.Join(context.Background(), -1); err == nil {
+		t.Fatal("Join accepted a negative rank")
+	}
+	if err := se.Join(context.Background(), 99); err == nil {
+		t.Fatal("Join accepted an out-of-range rank")
+	}
+	// Joining a live member is a no-op, not an error.
+	if err := se.Join(context.Background(), 1); err != nil {
+		t.Fatalf("Join of a live rank: %v", err)
+	}
+	if err := se.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := se.Join(context.Background(), 1); err == nil {
+		t.Fatal("Join succeeded on a closed session")
+	}
+}
+
+// TestJobBarrierNoLeak is the regression test for the admission-path leak:
+// jobs abandoned while queued (context cancelled before a run slot opened)
+// and jobs that ran to completion must both leave the cluster's job-barrier
+// table empty.
+func TestJobBarrierNoLeak(t *testing.T) {
+	_, p := sessionGraph(t)
+	cfg := DefaultConfig(2)
+	cfg.WorkDir = t.TempDir()
+	cfg.MaxSupersteps = 8
+	cfg.MaxConcurrentJobs = 2 // two slots: the third Submit must queue
+	cfg.MaxQueuedJobs = 4
+	se, err := Open(Input{Partition: p}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+
+	// Park a slow job in each run slot: their Progress callbacks block on
+	// hold, so neither job can finish until the test releases them.
+	slowCtx, slowCancel := context.WithCancel(context.Background())
+	hold := make(chan struct{})
+	slowErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		started := make(chan struct{})
+		var once sync.Once
+		go func() {
+			_, err := se.Submit(slowCtx, apps.PageRank{}, JobOptions{Progress: func(StepStats) {
+				once.Do(func() { close(started) })
+				<-hold
+			}})
+			slowErrs <- err
+		}()
+		<-started
+	}
+
+	queuedCtx, cancelQueued := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancelQueued()
+	}()
+	if _, err := se.Submit(queuedCtx, apps.PageRank{}, JobOptions{}); err == nil {
+		t.Fatal("queued Submit survived its context cancellation")
+	}
+
+	// Cancel the parked jobs before letting them move again: the next step
+	// edge must observe the dead context and unwind as cancelled.
+	slowCancel()
+	close(hold)
+	for i := 0; i < 2; i++ {
+		if err := <-slowErrs; err == nil {
+			t.Fatal("parked job survived its context cancellation")
+		}
+	}
+
+	// A healthy job after the churn, then: no barrier residue.
+	if _, err := se.Submit(context.Background(), apps.PageRank{}, JobOptions{}); err != nil {
+		t.Fatalf("follow-up job: %v", err)
+	}
+	if n := se.JobBarrierCount(); n != 0 {
+		t.Fatalf("job-barrier table retains %d entries, want 0", n)
+	}
+}

@@ -251,7 +251,7 @@ func (s *server) recvMail(ctx context.Context, fn func(from int, payload []byte)
 			default:
 				return cluster.ErrRecvStall
 			}
-		case <-s.shared.router.done:
+		case <-s.rtr.done:
 			select {
 			case m = <-s.mailbox.ch:
 			default:

@@ -28,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -120,8 +121,47 @@ type job struct {
 	errs    []error // hard per-server errors
 	cancels []error // per-server cancellation causes
 	loopMax int64   // nanoseconds, max over servers
-	wg      sync.WaitGroup
+	grp     *jobGroup
 }
+
+// jobGroup is the job's participant counter — a WaitGroup whose membership
+// can grow mid-flight. A server rejoining the session adds a replacement
+// runner to every in-flight job with tryAdd, which fails once the job has
+// completed: a rejoin racing the job's last doneOne is refused rather than
+// resurrecting a finished job.
+type jobGroup struct {
+	mu   sync.Mutex
+	n    int
+	over bool
+	done chan struct{}
+}
+
+func newJobGroup(n int) *jobGroup {
+	return &jobGroup{n: n, done: make(chan struct{})}
+}
+
+func (g *jobGroup) doneOne() {
+	g.mu.Lock()
+	g.n--
+	if g.n <= 0 && !g.over {
+		g.over = true
+		close(g.done)
+	}
+	g.mu.Unlock()
+}
+
+// tryAdd admits one more participant unless the job already completed.
+func (g *jobGroup) tryAdd() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.over {
+		return false
+	}
+	g.n++
+	return true
+}
+
+func (g *jobGroup) wait() { <-g.done }
 
 // Session is a persistent deployment of the engine: a booted simulated
 // cluster whose servers hold their assigned tiles on local disk, their
@@ -154,9 +194,49 @@ type Session struct {
 	nextJob  uint32
 	submitWG sync.WaitGroup
 
+	// Elastic-membership machinery: the per-rank session-lifetime servers
+	// (reviveServer respawns runners on them), the in-flight job registry
+	// (a rejoin must fold into every running job exactly once), the count
+	// of in-flight jobs that cannot absorb a membership grow (admission is
+	// deferred while it is non-zero), and the mailbox capacity rejoin
+	// routers are rebuilt with. regMu orders job registration against
+	// admission: a job is either registered before a revive (and gets a
+	// replacement runner) or after (and sees the grown membership itself).
+	servers   []*server
+	regMu     sync.Mutex
+	inflight  map[*job]struct{}
+	joinBlock atomic.Int32
+	routerCap int
+
 	mu     sync.Mutex
 	closed bool
 	dead   error // first hard error; the cluster is gone
+
+	// closedFlag and deadFlag mirror closed/dead for lock-free readers —
+	// the join controller cannot take se.mu, which the serial Submit holds
+	// across a whole job (liveState).
+	closedFlag atomic.Bool
+	deadFlag   atomic.Pointer[error]
+}
+
+// markDeadLocked records the session's first hard error (caller holds
+// se.mu) and mirrors it into the lock-free flag the join controller reads.
+func (se *Session) markDeadLocked(err error) {
+	if se.dead == nil {
+		se.dead = err
+		se.deadFlag.Store(&err)
+	}
+}
+
+// liveState is the lock-free closed/dead snapshot for the join controller,
+// which must not take se.mu: the serial Submit holds it across a whole job,
+// and the runner executing that job may be parked at its step edge waiting
+// on the very handshake that needs the snapshot.
+func (se *Session) liveState() (closed bool, dead error) {
+	if p := se.deadFlag.Load(); p != nil {
+		dead = *p
+	}
+	return se.closedFlag.Load(), dead
 }
 
 // Open boots a session: it spins up the simulated cluster, assigns and
@@ -233,22 +313,25 @@ func Open(in Input, cfg Config) (*Session, error) {
 
 	multi := cfg.MaxConcurrentJobs > 1
 	se := &Session{
-		cfg:     cfg,
-		graph:   g,
-		cl:      cl,
-		workDir: workDir,
-		ownWork: ownWork,
-		jobChs:  make([]chan *job, cfg.NumServers),
-		runDone: make(chan error, 1),
-		multi:   multi,
-		nextJob: 1, // 0 stays "no job": serial frames carry no envelope
-		shared:  make([]*nodeShared, cfg.NumServers),
+		cfg:       cfg,
+		graph:     g,
+		cl:        cl,
+		workDir:   workDir,
+		ownWork:   ownWork,
+		jobChs:    make([]chan *job, cfg.NumServers),
+		runDone:   make(chan error, 1),
+		multi:     multi,
+		nextJob:   1, // 0 stays "no job": serial frames carry no envelope
+		shared:    make([]*nodeShared, cfg.NumServers),
+		servers:   make([]*server, cfg.NumServers),
+		inflight:  make(map[*job]struct{}),
+		routerCap: 2*numTiles + 64,
 	}
 	if multi {
 		se.sched = newJobScheduler(cfg.MaxConcurrentJobs, cfg.MaxQueuedJobs)
 	}
 	for i := range se.shared {
-		ns := &nodeShared{}
+		ns := &nodeShared{joinBlock: &se.joinBlock}
 		if multi {
 			ns.gate = newStepGate()
 			ns.share = cache.NewShareWindow(costmodel.ShareWindowTiles(cfg.MaxConcurrentJobs, cfg.WorkersPerServer))
@@ -256,6 +339,8 @@ func Open(in Input, cfg Config) (*Session, error) {
 		}
 		se.shared[i] = ns
 	}
+	// Scripted rejoins run the same controller-side protocol as Session.Join.
+	faults.setOnRejoin(se.scriptedRejoin)
 	for i := range se.jobChs {
 		if multi {
 			// Buffered to the admission level: a Submit's fan-out must not
@@ -295,6 +380,7 @@ func Open(in Input, cfg Config) (*Session, error) {
 				faults:    faults,
 				shared:    se.shared[n.ID()],
 			}
+			se.servers[n.ID()] = sv
 			if multi {
 				// The frame router owns this node's inbox for the whole
 				// session: runners only ever see their own job's mailbox. The
@@ -302,8 +388,8 @@ func Open(in Input, cfg Config) (*Session, error) {
 				// per tile per live peer ≤ 2×tiles for practical clusters)
 				// plus recovery markers and slack, so routing never blocks on
 				// a lagging runner in the common case.
-				r := newFrameRouter(n, 2*numTiles+64, se.noteFatal)
-				sv.shared.router = r
+				r := newFrameRouter(n, se.routerCap, se.noteFatal)
+				sv.shared.router.Store(r)
 				go r.run()
 			}
 			defer func() {
@@ -325,8 +411,10 @@ func Open(in Input, cfg Config) (*Session, error) {
 			sv.fetch = nil
 			if !multi {
 				for jb := range se.jobChs[n.ID()] {
+					sv.shared.quiesceEnter()
 					fatal := sv.runJob(jb)
-					jb.wg.Done()
+					sv.shared.quiesceExit()
+					jb.grp.doneOne()
 					if fatal != nil {
 						return fatal
 					}
@@ -347,11 +435,13 @@ func Open(in Input, cfg Config) (*Session, error) {
 					if fatal := r.runJob(jb); fatal != nil {
 						se.noteFatal(fatal)
 					}
-					jb.wg.Done()
+					jb.grp.doneOne()
 				}(jb)
 			}
 			runners.Wait()
-			sv.shared.router.halt()
+			if rt := sv.shared.router.Load(); rt != nil {
+				rt.halt()
+			}
 			return nil
 		})
 	}()
@@ -425,14 +515,15 @@ func (se *Session) Submit(ctx context.Context, prog Program, opts JobOptions) (*
 	if err != nil {
 		return nil, err
 	}
-	jb.wg.Add(se.cfg.NumServers)
+	se.registerJob(jb)
 	for _, ch := range se.jobChs {
 		ch <- jb
 	}
-	jb.wg.Wait()
+	jb.grp.wait()
+	se.unregisterJob(jb)
 
 	if err := cluster.FirstNodeError(jb.errs); err != nil {
-		se.dead = err
+		se.markDeadLocked(err)
 		return nil, err
 	}
 	for _, cerr := range jb.cancels {
@@ -445,8 +536,9 @@ func (se *Session) Submit(ctx context.Context, prog Program, opts JobOptions) (*
 		// Every server died (scripted kills can do that). There is no
 		// survivor to have filled the result, and no membership left to run
 		// another job on.
-		se.dead = fmt.Errorf("core: all %d servers died during the job", se.cfg.NumServers)
-		return nil, se.dead
+		err := fmt.Errorf("core: all %d servers died during the job", se.cfg.NumServers)
+		se.markDeadLocked(err)
+		return nil, err
 	}
 	return se.assembleResult(jb, deadServers), nil
 }
@@ -481,11 +573,21 @@ func (se *Session) submitMulti(ctx context.Context, prog Program, opts JobOption
 	if jb.weight <= 0 {
 		jb.weight = 1
 	}
+	// The job's identity exists from birth — before admission — so every
+	// abandon path below can release whatever cluster-side residue the ID
+	// accumulated (the job barrier in particular) instead of leaking it.
+	se.mu.Lock()
+	jb.id = se.nextJob
+	se.nextJob++
+	se.mu.Unlock()
 
 	// Admission: block for a run slot (or fail fast with ErrJobQueueFull /
 	// unwind on ctx cancellation while queued).
 	slot, err := se.sched.admit(ctx, jb.weight)
 	if err != nil {
+		// Cancelled (or bounced) while queued: the job never ran, but its
+		// barrier entry may exist; drop it rather than leak it.
+		se.cl.ReleaseJobBarrier(jb.id)
 		return nil, err
 	}
 	defer se.sched.release(slot)
@@ -497,21 +599,21 @@ func (se *Session) submitMulti(ctx context.Context, prog Program, opts JobOption
 		// admission queue; the runner loops may be gone — do not fan out.
 		dead := se.dead
 		se.mu.Unlock()
+		se.cl.ReleaseJobBarrier(jb.id)
 		if dead != nil {
 			return nil, &sessionDeadError{cause: dead}
 		}
 		return nil, fmt.Errorf("core: Submit on closed session")
 	}
-	jb.id = se.nextJob
-	se.nextJob++
 	se.mu.Unlock()
 
-	jb.wg.Add(se.cfg.NumServers)
+	se.registerJob(jb)
 	for _, ch := range se.jobChs {
 		ch <- jb
 	}
-	jb.wg.Wait()
+	jb.grp.wait()
 	se.retireJob(jb)
+	se.unregisterJob(jb)
 
 	if err := cluster.FirstNodeError(jb.errs); err != nil {
 		se.noteFatal(err)
@@ -526,9 +628,7 @@ func (se *Session) submitMulti(ctx context.Context, prog Program, opts JobOption
 	if len(deadServers) == se.cfg.NumServers {
 		err := fmt.Errorf("core: all %d servers died during the job", se.cfg.NumServers)
 		se.mu.Lock()
-		if se.dead == nil {
-			se.dead = err
-		}
+		se.markDeadLocked(err)
 		se.mu.Unlock()
 		return nil, err
 	}
@@ -574,7 +674,47 @@ func (se *Session) makeJob(ctx context.Context, prog Program, opts JobOptions) (
 		steps:   make([][]StepStats, se.cfg.NumServers),
 		errs:    make([]error, se.cfg.NumServers),
 		cancels: make([]error, se.cfg.NumServers),
+		grp:     newJobGroup(se.cfg.NumServers),
 	}, nil
+}
+
+// jobRecoverable reports whether a job can absorb a membership grow: a
+// rejoin throws every in-flight job into the recovery protocol, which only
+// converges when the job checkpoints under All-in-All replication.
+func (se *Session) jobRecoverable(jb *job) bool {
+	return jb.ckptEvery > 0 && se.cfg.Replication == AllInAll && se.cfg.NumServers > 1
+}
+
+// registerJob enters a job into the in-flight registry before its fan-out.
+// The registry lock orders this against reviveLocked: a job registered
+// first gets a replacement runner on a rejoined server; one registered
+// after the revive observes the grown membership from its first step.
+// Unrecoverable jobs also raise joinBlock, deferring admissions until they
+// drain.
+func (se *Session) registerJob(jb *job) {
+	se.regMu.Lock()
+	se.inflight[jb] = struct{}{}
+	se.regMu.Unlock()
+	if !se.jobRecoverable(jb) {
+		se.joinBlock.Add(1)
+	}
+}
+
+// unregisterJob removes a finished job from the registry and scrubs its
+// zombie-ledger entries (a dead server that consumed the job records it
+// there; once the job is over the claim is moot).
+func (se *Session) unregisterJob(jb *job) {
+	se.regMu.Lock()
+	delete(se.inflight, jb)
+	se.regMu.Unlock()
+	if !se.jobRecoverable(jb) {
+		se.joinBlock.Add(-1)
+	}
+	for _, ns := range se.shared {
+		ns.zMu.Lock()
+		delete(ns.zombies, jb)
+		ns.zMu.Unlock()
+	}
 }
 
 // deadServers lists the ranks that are no longer cluster members.
@@ -607,12 +747,20 @@ func (se *Session) assembleResult(jb *job, deadServers []int) *Result {
 func (se *Session) retireJob(jb *job) {
 	se.cl.ReleaseJobBarrier(jb.id)
 	for _, ns := range se.shared {
-		if ns.router != nil {
-			ns.router.retire(jb.id)
+		if r := ns.router.Load(); r != nil {
+			r.retire(jb.id)
 		}
 		ns.share.DropConsumer(1 << uint(jb.slot))
 		ns.gate.leave(jb.id)
 	}
+}
+
+// JobBarrierCount reports the number of per-job barrier groups the cluster
+// currently retains — an observability hook for leak detection: once every
+// submitted job has returned, the count must be zero (retired jobs release
+// their barrier, and so does every admission-path abandon).
+func (se *Session) JobBarrierCount() int {
+	return se.cl.JobBarrierCount()
 }
 
 // noteFatal records the session's first hard error and aborts the cluster
@@ -623,9 +771,7 @@ func (se *Session) noteFatal(err error) {
 		return
 	}
 	se.mu.Lock()
-	if se.dead == nil {
-		se.dead = err
-	}
+	se.markDeadLocked(err)
 	se.mu.Unlock()
 	se.cl.Abort()
 }
@@ -640,6 +786,7 @@ func (se *Session) Close() error {
 		return nil
 	}
 	se.closed = true
+	se.closedFlag.Store(true)
 	dead := se.dead
 	se.mu.Unlock()
 

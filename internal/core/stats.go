@@ -106,6 +106,14 @@ type ServerStats struct {
 	TilesAdopted int
 	Recoveries   int
 	RecoveryTime time.Duration
+	// Joins counts the times this server has rejoined the session so far
+	// (elastic membership — mid-job or between jobs, cumulative like the
+	// I/O counters); MembershipEpoch is the cluster membership epoch
+	// at the end of the job — it advances by one for every death *and*
+	// every join the session has seen, so operators can tell a churned
+	// cluster from a stable one even when deaths and joins cancel out.
+	Joins           int
+	MembershipEpoch uint64
 	// SharedTileLoads counts tiles this job took from the multi-tenant
 	// share window instead of reading from disk — each one is a disk read a
 	// concurrent job paid on this job's behalf. Always 0 in serial sessions.
