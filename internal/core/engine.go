@@ -383,8 +383,16 @@ type nodeShared struct {
 	// joinBlock counts in-flight jobs that cannot absorb a membership grow
 	// (no checkpointing, or not All-in-All): while it is non-zero, join
 	// requests stay queued instead of being admitted. The counter is
-	// session-wide; every nodeShared aliases the same value.
+	// session-wide; every nodeShared aliases the same value. Lock-free reads
+	// of it are fast-path only — the authoritative check happens inside
+	// admit, under the session's job-registry lock.
 	joinBlock *atomic.Int32
+
+	// admit performs the runner-side join admission (Session.admitJoin):
+	// DeclareJoined under the job registry's lock, so an admission either
+	// lands before a racing Submit publishes its job or observes the job's
+	// raised joinBlock and defers. Session-wide, like joinBlock.
+	admit func(rank int) bool
 
 	// joins counts this node's readmissions (elastic membership), a
 	// session-lifetime counter like the I/O totals. It lives here rather

@@ -113,9 +113,10 @@ func decodeJoinResp(p []byte) (version, rank int, accept, ok bool) {
 	return version, rank, accept, true
 }
 
-// joinJitter deterministically spreads a backoff interval ±50% from the
-// (rank, attempt) coordinate — deterministic so scripted fault plans replay
-// identically, spread so two concurrent joiners don't beat in lockstep.
+// joinJitter deterministically spreads a backoff interval ±25% — the result
+// lands in [3d/4, 5d/4) — from the (rank, attempt) coordinate: deterministic
+// so scripted fault plans replay identically, spread so two concurrent
+// joiners don't beat in lockstep.
 func joinJitter(d time.Duration, rank int, attempt uint32) time.Duration {
 	h := uint64(rank)*0x9E3779B97F4A7C15 + uint64(attempt)*0xBF58476D1CE4E5B9
 	h ^= h >> 31
@@ -142,11 +143,19 @@ func (s *server) pollJoinRequests() {
 	if blk := s.shared.joinBlock; blk == nil || blk.Load() != 0 {
 		return // some other in-flight job cannot
 	}
-	// Nobody receives on a server's behalf while it sits at a step edge, so
-	// pull any frames already delivered to the transport inbox: control
-	// frames land in the poll queue, data frames are stashed for the step's
-	// ordinary receives.
-	n.CtlProbe()
+	if !s.multi {
+		// Serial session: nobody receives on this server's behalf while it
+		// sits at a step edge, so pull any frames already delivered to the
+		// transport inbox — control frames land in the poll queue, data
+		// frames are stashed for the step's ordinary receives. A multi-tenant
+		// session must NOT probe: its frame router goroutine owns the inbox
+		// continuously (recvMsgStall diverts control frames into the poll
+		// queue as they arrive), and a second competing receiver would
+		// interleave with the router arbitrarily — the probe could stash
+		// frame F1 while the router pulls and routes a later F2 directly,
+		// breaking per-sender FIFO on the data plane.
+		n.CtlProbe()
+	}
 	for {
 		p := n.CtlPoll()
 		if p == nil {
@@ -160,7 +169,13 @@ func (s *server) pollJoinRequests() {
 			_ = n.CtlSend(rank, appendJoinResp(nil, rank, false))
 			continue
 		}
-		n.DeclareJoined(rank) // idempotent for an already-live rank
+		// Admit under the job registry's lock: the lock-free joinBlock check
+		// above is only a fast path, and a Submit can publish an unrecoverable
+		// job between it and the declaration. The request stays unanswered on
+		// refusal; the joiner's retry loop re-sends it.
+		if s.shared.admit == nil || !s.shared.admit(rank) {
+			return
+		}
 		_ = n.CtlSend(rank, appendJoinResp(nil, rank, true))
 	}
 }

@@ -361,8 +361,15 @@ func (s *server) streamCheckpoint(restore int, alive, needy []bool) (retry bool,
 	} else if needy[me] {
 		var blob []byte
 		err = s.recvWhile(nil, func(from int, payload []byte) (bool, error) {
-			if len(payload) == 0 || payload[0] != ckptMagic {
+			if len(payload) < ckptHeaderSize || payload[0] != ckptMagic {
 				return false, nil // stale pre-recovery frame or stray marker
+			}
+			if int(binary.LittleEndian.Uint32(payload[1:])) != restore {
+				// A blob from an aborted earlier stream round (membership
+				// changed mid-stream and the retried marker exchange picked a
+				// different restore point) can still sit in the FIFO ahead of
+				// the current donor's; drop it and keep receiving.
+				return false, nil
 			}
 			blob = append([]byte(nil), payload...)
 			return true, nil
@@ -378,8 +385,12 @@ func (s *server) streamCheckpoint(restore int, alive, needy []bool) (retry bool,
 		default:
 			return false, err
 		}
-		if _, err := decodeCheckpoint(blob, s.state.values); err != nil {
+		step, err := decodeCheckpoint(blob, s.state.values)
+		if err != nil {
 			return false, fmt.Errorf("core: server %d validating streamed checkpoint: %w", me, err)
+		}
+		if step != restore {
+			return false, fmt.Errorf("core: server %d streamed checkpoint encodes step %d, want %d", me, step, restore)
 		}
 		if err := s.store.WriteAtomic(s.ckptName(restore), blob); err != nil {
 			return false, fmt.Errorf("core: server %d persisting streamed checkpoint for step %d: %w", me, restore, err)

@@ -331,7 +331,7 @@ func Open(in Input, cfg Config) (*Session, error) {
 		se.sched = newJobScheduler(cfg.MaxConcurrentJobs, cfg.MaxQueuedJobs)
 	}
 	for i := range se.shared {
-		ns := &nodeShared{joinBlock: &se.joinBlock}
+		ns := &nodeShared{joinBlock: &se.joinBlock, admit: se.admitJoin}
 		if multi {
 			ns.gate = newStepGate()
 			ns.share = cache.NewShareWindow(costmodel.ShareWindowTiles(cfg.MaxConcurrentJobs, cfg.WorkersPerServer))
@@ -690,14 +690,16 @@ func (se *Session) jobRecoverable(jb *job) bool {
 // first gets a replacement runner on a rejoined server; one registered
 // after the revive observes the grown membership from its first step.
 // Unrecoverable jobs also raise joinBlock, deferring admissions until they
-// drain.
+// drain — inside the same critical section that publishes the job, so
+// admitJoin (which checks the counter under regMu) can never admit a rejoin
+// with a published-but-uncounted unrecoverable job in flight.
 func (se *Session) registerJob(jb *job) {
 	se.regMu.Lock()
-	se.inflight[jb] = struct{}{}
-	se.regMu.Unlock()
 	if !se.jobRecoverable(jb) {
 		se.joinBlock.Add(1)
 	}
+	se.inflight[jb] = struct{}{}
+	se.regMu.Unlock()
 }
 
 // unregisterJob removes a finished job from the registry and scrubs its
@@ -706,15 +708,33 @@ func (se *Session) registerJob(jb *job) {
 func (se *Session) unregisterJob(jb *job) {
 	se.regMu.Lock()
 	delete(se.inflight, jb)
-	se.regMu.Unlock()
 	if !se.jobRecoverable(jb) {
 		se.joinBlock.Add(-1)
 	}
+	se.regMu.Unlock()
 	for _, ns := range se.shared {
 		ns.zMu.Lock()
 		delete(ns.zombies, jb)
 		ns.zMu.Unlock()
 	}
+}
+
+// admitJoin is the runner-side join admission (nodeShared.admit): it
+// declares rank joined under the job registry's lock. pollJoinRequests'
+// lock-free joinBlock read is only a fast path — a Submit can register an
+// unrecoverable job between that read and the declaration. Taking regMu
+// here pairs with registerJob raising joinBlock inside the critical section
+// that publishes the job, so an admission either lands before the job is
+// published (its runners observe the grown membership from their first
+// step) or sees the raised counter and defers, leaving the joiner to retry.
+func (se *Session) admitJoin(rank int) bool {
+	se.regMu.Lock()
+	defer se.regMu.Unlock()
+	if se.joinBlock.Load() != 0 {
+		return false
+	}
+	se.cl.Node(rank).DeclareJoined(rank) // idempotent for an already-live rank
+	return true
 }
 
 // deadServers lists the ranks that are no longer cluster members.
