@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-codec bench-smoke chaos fuzz fuzz-ci race ci check docs-check api-check api-snapshot
+.PHONY: all build test vet bench bench-codec bench-smoke chaos fuzz fuzz-ci race ci check docs-check api-check api-snapshot smoke-daemon
 
 all: check
 
@@ -31,8 +31,18 @@ race:
 	$(GO) test -race -count=1 ./internal/cluster/ ./internal/core/ ./internal/disk/ ./internal/cache/
 
 # check is the default gate: tier-1 plus race, the chaos suite, a short
-# fuzz budget, the documentation and API gates and the perf smoke pass.
-check: ci race chaos fuzz-ci docs-check api-check bench-smoke
+# fuzz budget, the documentation and API gates, the perf smoke pass and the
+# daemon smoke test.
+check: ci race chaos fuzz-ci docs-check api-check bench-smoke smoke-daemon
+
+# smoke-daemon builds the real graphhd binary, serves a generated dataset on
+# a loopback port, submits PageRank through the typed Go client, asserts the
+# paginated remote result is bit-identical to the in-process Run, and checks
+# SIGTERM drains gracefully (exit 0, session closed). The service package's
+# own e2e suite runs under the race detector as well.
+smoke-daemon:
+	$(GO) test . -run TestDaemonSmoke -count=1
+	$(GO) test -race -count=1 ./internal/service/
 
 # chaos runs the fault-injection and crash-recovery suite under the race
 # detector: the crash-at-every-superstep sweep (serial and with two
@@ -111,3 +121,4 @@ fuzz-ci:
 	$(GO) test ./internal/core/ -run xxx -fuzz FuzzDecodeRebalance -fuzztime 10s
 	$(GO) test ./internal/core/ -run xxx -fuzz FuzzDecodeJoinFrame -fuzztime 10s
 	$(GO) test ./internal/disk/ -run xxx -fuzz FuzzDecodeBatchFrame -fuzztime 10s
+	$(GO) test ./api/ -run xxx -fuzz FuzzDecodeJobRequest -fuzztime 10s

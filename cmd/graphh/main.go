@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	graphh "repro"
+	"repro/api"
 )
 
 func main() {
@@ -60,6 +62,7 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint the vertex state every K supersteps for crash recovery (0 = off)")
 		failTO     = flag.Duration("failure-timeout", 0, "declare a server dead after its traffic stalls this long, e.g. 2s (0 = only self-declared crashes)")
 		concJobs   = flag.Int("concurrent-jobs", 1, "run the -program jobs concurrently, up to N in flight (multi-tenant session; <=1 = back-to-back)")
+		jsonOut    = flag.Bool("json", false, "emit one api.RunReport JSON document per job instead of the human report — the same schema a graphhd daemon serves")
 	)
 	flag.Parse()
 
@@ -156,8 +159,10 @@ func main() {
 	}
 	defer sess.Close()
 
-	fmt.Printf("%s on %s: |V|=%d |E|=%d tiles=%d servers=%d\n",
-		strings.Join(names, ","), g.Name, g.NumVertices, g.NumEdges(), p.NumTiles(), *servers)
+	if !*jsonOut {
+		fmt.Printf("%s on %s: |V|=%d |E|=%d tiles=%d servers=%d\n",
+			strings.Join(names, ","), g.Name, g.NumVertices, g.NumEdges(), p.NumTiles(), *servers)
+	}
 	if *concJobs > 1 {
 		// Multi-tenant: every job is submitted at once; the session admits
 		// up to -concurrent-jobs of them and interleaves their supersteps,
@@ -189,6 +194,12 @@ func main() {
 				shared += sv.SharedTileLoads
 			}
 		}
+		if *jsonOut {
+			for i, res := range results {
+				printJSON(names[i], res)
+			}
+			return
+		}
 		fmt.Printf("%d jobs ran concurrently (up to %d in flight) in %v wall; %d tile loads shared between jobs\n",
 			len(progs), *concJobs, wall.Round(1e6), shared)
 		for i, res := range results {
@@ -205,10 +216,24 @@ func main() {
 			sess.Close()
 			fail(err)
 		}
+		if *jsonOut {
+			printJSON(names[i], res)
+			continue
+		}
 		if len(progs) > 1 {
 			fmt.Printf("job %d/%d %s:\n", i+1, len(progs), names[i])
 		}
 		printJob(names[i], res, i == 0, *top)
+	}
+}
+
+// printJSON emits the job's api.RunReport — the exact document a graphhd
+// daemon serves at GET /v1/jobs/{id} for the same run, so local and remote
+// front-ends are scriptable with one schema.
+func printJSON(name string, res *graphh.Result) {
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(api.ReportFromResult(name, res)); err != nil {
+		fail(err)
 	}
 }
 

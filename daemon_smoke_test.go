@@ -1,0 +1,137 @@
+package graphh_test
+
+// Daemon smoke test: builds the real graphhd binary, serves a generated
+// dataset on a loopback port, drives it with the typed Go client, and
+// checks the remote paginated result is bit-identical to the in-process
+// Run. SIGTERM must drain gracefully: the daemon exits 0 and reports the
+// session closed. `make smoke-daemon` runs exactly this test.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	graphh "repro"
+	"repro/api"
+	"repro/client"
+)
+
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the graphhd binary")
+	}
+	bin := filepath.Join(t.TempDir(), "graphhd")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/graphhd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building graphhd: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-listen", "127.0.0.1:0",
+		"-dataset", "twitter-sim", "-scale", "0.02",
+		"-servers", "2", "-supersteps", "12", "-concurrent-jobs", "2",
+		"-drain-timeout", "30s",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill() })
+
+	// The readiness line carries the bound address; everything after it is
+	// collected for the drain assertions.
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "on http://"); i >= 0 {
+			base = "http://" + strings.TrimPrefix(line[i:], "on http://")
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no readiness line from graphhd (scanner err: %v)", sc.Err())
+	}
+	tail := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		for sc.Scan() {
+			b.WriteString(sc.Text())
+			b.WriteString("\n")
+		}
+		tail <- b.String()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c := client.New(base)
+	st, err := c.Submit(ctx, api.JobRequest{Program: api.ProgramSpec{Name: api.ProgramPageRank}})
+	if err != nil {
+		t.Fatalf("remote submit: %v", err)
+	}
+	if st, err = c.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateDone {
+		t.Fatalf("remote job ended %s: %s", st.State, st.Error)
+	}
+	got, err := c.Values(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// In-process reference on the same generated graph with the same knobs.
+	g, err := graphh.Generate("twitter-sim", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := graphh.CodecSnappy
+	want, err := graphh.RunGraph(g, graphh.NewPageRank(), graphh.Options{
+		Servers: 2, MaxSupersteps: 12, WorkDir: t.TempDir(), MessageCodec: &codec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Values) {
+		t.Fatalf("remote returned %d values, want %d", len(got), len(want.Values))
+	}
+	for v := range want.Values {
+		if got[v] != want.Values[v] {
+			t.Fatalf("vertex %d: remote %v != in-process %v — wire result not bit-identical", v, got[v], want.Values[v])
+		}
+	}
+
+	// Graceful drain: SIGTERM → running jobs finish (none now), session
+	// closes, process exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Drain stdout to EOF before Wait — Wait closes the pipe and would race
+	// the reader out of the drain epilogue.
+	var out string
+	select {
+	case out = <-tail:
+	case <-time.After(60 * time.Second):
+		t.Fatal("graphhd did not exit within 60s of SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() != 0 {
+			t.Fatalf("graphhd exit after SIGTERM: %v", err)
+		}
+		t.Fatalf("graphhd exited %d after SIGTERM:\n%s", ee.ExitCode(), out)
+	}
+	if !strings.Contains(out, "drained, session closed") {
+		t.Fatalf("drain epilogue missing from daemon output:\n%s", out)
+	}
+}

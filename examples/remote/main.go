@@ -1,0 +1,134 @@
+// Example remote: the graphhd serving stack end to end in one process. A
+// session over a generated graph is fronted by the service layer on a
+// loopback port; two remote clients then share it concurrently — one runs
+// PageRank while watching the live per-superstep progress stream, the
+// other runs WCC and pages through the result — and the daemon drains
+// gracefully at the end. In production the server side is the graphhd
+// binary; the client side is exactly this code pointed at its address.
+//
+//	go run ./examples/remote
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+
+	graphh "repro"
+	"repro/api"
+	"repro/client"
+	"repro/internal/service"
+)
+
+func main() {
+	// ---- server side: what the graphhd binary does ----
+	g := graphh.GenerateRMAT(2_000, 30_000, 7).Symmetrize()
+	p, err := graphh.Partition(g, graphh.PartitionOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := graphh.Open(p, graphh.Options{
+		Servers: 3, MaxSupersteps: 40, MaxConcurrentJobs: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := service.New(sess, service.Config{
+		NumVertices: int(g.NumVertices), NumTiles: p.NumTiles(),
+		Servers: 3, MaxConcurrentJobs: 2,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: svc.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("daemon serving %s (|V|=%d, %d tiles) at %s\n",
+		g.Name, g.NumVertices, p.NumTiles(), base)
+
+	// ---- client side: two independent remote users ----
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // client 1: PageRank with a live progress stream
+		defer wg.Done()
+		c := client.New(base)
+		ctx := context.Background()
+		st, err := c.Submit(ctx, api.JobRequest{
+			Program: api.ProgramSpec{Name: api.ProgramPageRank},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Detached: this watcher's disconnect at job end must not cancel
+		// anything. Without the option, a watcher that goes away mid-run
+		// cancels its job — the interactive-client contract.
+		stream, err := c.Progress(ctx, st.ID, client.Detached())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stream.Close()
+		steps := 0
+		for {
+			step, err := stream.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			steps++
+			if step.Superstep < 3 {
+				fmt.Printf("client 1: superstep %d updated %d vertices (%d wire bytes)\n",
+					step.Superstep, step.Updated, step.WireBytes)
+			}
+		}
+		final, err := c.Wait(ctx, st.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("client 1: pagerank %s after %d supersteps (streamed %d)\n",
+			final.State, final.Supersteps, steps)
+	}()
+	go func() { // client 2: WCC, fetched page by page
+		defer wg.Done()
+		c := client.New(base)
+		ctx := context.Background()
+		st, err := c.Submit(ctx, api.JobRequest{
+			Program: api.ProgramSpec{Name: api.ProgramWCC},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st, err = c.Wait(ctx, st.ID); err != nil {
+			log.Fatal(err)
+		}
+		values, err := c.Values(ctx, st.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		components := map[float64]int{}
+		for _, v := range values {
+			components[v]++
+		}
+		fmt.Printf("client 2: wcc %s — %d vertices in %d components\n",
+			st.State, len(values), len(components))
+	}()
+	wg.Wait()
+
+	// ---- shutdown: the SIGTERM path of the graphhd binary ----
+	stats, err := client.New(base).Stats(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("daemon served %d jobs, %d bytes\n", stats.Jobs.Done, stats.BytesServed)
+	if err := svc.Drain(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	hs.Close()
+	fmt.Println("drained: running jobs finished, session closed")
+}

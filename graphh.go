@@ -142,6 +142,10 @@ const (
 // "clock") as printed by CachePolicy.String.
 func CachePolicyByName(name string) (CachePolicy, error) { return cache.PolicyByName(name) }
 
+// CodecByName parses a codec name ("raw", "snappy", "zlib-1", "zlib-3") as
+// printed by Codec.String.
+func CodecByName(name string) (Codec, error) { return compress.ModeByName(name) }
+
 // ResidencyMode selects the tile-residency tier of the out-of-core
 // pipeline; see Options.Residency.
 type ResidencyMode = core.ResidencyMode
@@ -211,6 +215,12 @@ var (
 	// job's hard error killed the session; the wrapped chain still
 	// carries the original cause.
 	ErrSessionDead = core.ErrSessionDead
+	// ErrSessionClosed marks Submits and Joins that arrive after Close.
+	// Unlike ErrSessionDead nothing failed — the caller shut the session
+	// down; embedders serving sessions over a wire protocol can map the
+	// three admission failures distinctly ("shutting down" vs "crashed"
+	// vs "overloaded") with errors.Is.
+	ErrSessionClosed = core.ErrSessionClosed
 	// ErrJobQueueFull marks Submits a multi-tenant session sheds because
 	// MaxConcurrentJobs jobs are running and the admission queue is at
 	// capacity. Nothing was enqueued; retry later or raise MaxQueuedJobs.

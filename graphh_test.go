@@ -281,3 +281,36 @@ func TestCrashRecoveryPublicAPI(t *testing.T) {
 		}
 	}
 }
+
+// TestErrSessionClosed pins the typed closed-session sentinel: Submits and
+// Joins after Close must match errors.Is(err, graphh.ErrSessionClosed) —
+// the graphhd daemon maps it onto HTTP 503, and it must stay distinct from
+// ErrSessionDead (a crash) and ErrJobQueueFull (backpressure).
+func TestErrSessionClosed(t *testing.T) {
+	g := graphh.GenerateRMAT(100, 600, 11)
+	p, err := graphh.Partition(g, graphh.PartitionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, conc := range []int{1, 2} { // serial and multi-tenant sessions
+		s, err := graphh.Open(p, graphh.Options{
+			Servers: 2, MaxSupersteps: 5, WorkDir: t.TempDir(), MaxConcurrentJobs: conc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, err = s.Submit(context.Background(), graphh.NewPageRank(), graphh.RunOptions{})
+		if !errors.Is(err, graphh.ErrSessionClosed) {
+			t.Fatalf("conc=%d: Submit after Close = %v, want ErrSessionClosed", conc, err)
+		}
+		if err := s.Join(context.Background(), 0); !errors.Is(err, graphh.ErrSessionClosed) {
+			t.Fatalf("conc=%d: Join after Close = %v, want ErrSessionClosed", conc, err)
+		}
+		if errors.Is(err, graphh.ErrSessionDead) || errors.Is(err, graphh.ErrJobQueueFull) {
+			t.Fatalf("conc=%d: ErrSessionClosed must not alias the other sentinels", conc)
+		}
+	}
+}

@@ -29,6 +29,7 @@ package cache
 
 import (
 	"container/list"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -38,16 +39,18 @@ import (
 )
 
 // Stats reports cache effectiveness, the metrics behind Figure 7.
+// The json tags pin the wire schema nested under ServerStats.Cache in the
+// graphhd daemon's JSON output; keep the lower_snake names stable.
 type Stats struct {
-	Hits        int64
-	Misses      int64
-	Evictions   int64
-	BytesCached int64
-	Entries     int
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	BytesCached int64 `json:"bytes_cached"`
+	Entries     int   `json:"entries"`
 	// DecompressTime accumulates time spent decompressing and decoding on
 	// hits — the overhead that makes zlib-3 slower than raw at equal hit
 	// ratio (Figure 7a).
-	DecompressTime time.Duration
+	DecompressTime time.Duration `json:"decompress_time_ns"`
 }
 
 // HitRatio returns hits/(hits+misses), or 0 before any access.
@@ -124,6 +127,24 @@ func PolicyByName(name string) (Policy, error) {
 		}
 	}
 	return AdmitNoEvict, fmt.Errorf("cache: unknown policy %q", name)
+}
+
+// MarshalJSON encodes the policy as its String name — the stable wire form
+// of ServerStats.CachePolicy in the graphhd daemon's JSON schema.
+func (p Policy) MarshalJSON() ([]byte, error) { return json.Marshal(p.String()) }
+
+// UnmarshalJSON parses the name form written by MarshalJSON.
+func (p *Policy) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	pol, err := PolicyByName(name)
+	if err != nil {
+		return err
+	}
+	*p = pol
+	return nil
 }
 
 // DefaultChances is the Clock policy's default k: an entry must go untouched

@@ -8,6 +8,7 @@ package compress
 import (
 	"bytes"
 	"compress/zlib"
+	"encoding/json"
 	"fmt"
 	"io"
 	"slices"
@@ -63,6 +64,24 @@ func ModeByName(name string) (Mode, error) {
 		}
 	}
 	return None, fmt.Errorf("compress: unknown codec %q", name)
+}
+
+// MarshalJSON encodes the codec as its String name — the stable wire form
+// of ServerStats.CacheMode in the graphhd daemon's JSON schema.
+func (m Mode) MarshalJSON() ([]byte, error) { return json.Marshal(m.String()) }
+
+// UnmarshalJSON parses the name form written by MarshalJSON.
+func (m *Mode) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	mode, err := ModeByName(name)
+	if err != nil {
+		return err
+	}
+	*m = mode
+	return nil
 }
 
 // ExpectedRatio returns the paper's planning estimate γᵢ of the codec's

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -196,6 +197,24 @@ func (r ResidencyMode) String() string {
 	default:
 		return fmt.Sprintf("residency(%d)", int(r))
 	}
+}
+
+// MarshalJSON encodes the tier as its String name — the stable wire form
+// of ServerStats.Residency in the graphhd daemon's JSON schema.
+func (r ResidencyMode) MarshalJSON() ([]byte, error) { return json.Marshal(r.String()) }
+
+// UnmarshalJSON parses the name form written by MarshalJSON.
+func (r *ResidencyMode) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	mode, err := ResidencyByName(name)
+	if err != nil {
+		return err
+	}
+	*r = mode
+	return nil
 }
 
 // ResidencyByName parses a residency name ("auto", "cached", "streaming")

@@ -283,7 +283,7 @@ func (se *Session) joinServer(ctx context.Context, rank int, failMidTransfer boo
 	}
 	closed, dead := se.liveState()
 	if closed {
-		return fmt.Errorf("core: Join on closed session")
+		return fmt.Errorf("core: Join: %w", ErrSessionClosed)
 	}
 	if dead != nil {
 		return &sessionDeadError{cause: dead}
@@ -306,7 +306,7 @@ func (se *Session) joinServer(ctx context.Context, rank int, failMidTransfer boo
 		}
 		closed, dead := se.liveState()
 		if closed {
-			return fmt.Errorf("core: Join on closed session")
+			return fmt.Errorf("core: Join: %w", ErrSessionClosed)
 		}
 		if dead != nil {
 			return &sessionDeadError{cause: dead}

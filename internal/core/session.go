@@ -82,6 +82,12 @@ type JobOptions struct {
 // the wrapped error chain still carries.
 var ErrSessionDead = errors.New("core: session is dead")
 
+// ErrSessionClosed marks every Submit (or Join) that arrives after Close.
+// Unlike ErrSessionDead the session did not fail — the caller shut it down;
+// embedders mapping session errors onto a wire protocol can tell "shutting
+// down, retry elsewhere" from "crashed" and "overloaded" with errors.Is.
+var ErrSessionClosed = errors.New("core: session is closed")
+
 // sessionDeadError is the fail-fast error later Submits return: it matches
 // both ErrSessionDead and the root cause under errors.Is/As.
 type sessionDeadError struct{ cause error }
@@ -500,7 +506,7 @@ func (se *Session) Submit(ctx context.Context, prog Program, opts JobOptions) (*
 	se.mu.Lock()
 	defer se.mu.Unlock()
 	if se.closed {
-		return nil, fmt.Errorf("core: Submit on closed session")
+		return nil, fmt.Errorf("core: Submit: %w", ErrSessionClosed)
 	}
 	if se.dead != nil {
 		return nil, &sessionDeadError{cause: se.dead}
@@ -552,7 +558,7 @@ func (se *Session) submitMulti(ctx context.Context, prog Program, opts JobOption
 	se.mu.Lock()
 	if se.closed {
 		se.mu.Unlock()
-		return nil, fmt.Errorf("core: Submit on closed session")
+		return nil, fmt.Errorf("core: Submit: %w", ErrSessionClosed)
 	}
 	if se.dead != nil {
 		d := se.dead
@@ -603,7 +609,7 @@ func (se *Session) submitMulti(ctx context.Context, prog Program, opts JobOption
 		if dead != nil {
 			return nil, &sessionDeadError{cause: dead}
 		}
-		return nil, fmt.Errorf("core: Submit on closed session")
+		return nil, fmt.Errorf("core: Submit: %w", ErrSessionClosed)
 	}
 	se.mu.Unlock()
 

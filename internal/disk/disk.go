@@ -45,20 +45,22 @@ type Config struct {
 }
 
 // Counters reports accumulated disk traffic.
+// The json tags pin the wire schema nested under ServerStats.Disk in the
+// graphhd daemon's JSON output; keep the lower_snake names stable.
 type Counters struct {
-	ReadBytes  int64
-	WriteBytes int64
-	ReadOps    int64
-	WriteOps   int64
+	ReadBytes  int64 `json:"read_bytes"`
+	WriteBytes int64 `json:"write_bytes"`
+	ReadOps    int64 `json:"read_ops"`
+	WriteOps   int64 `json:"write_ops"`
 	// BatchedReads counts blobs served through ReadBatch (each batch is one
 	// ReadOp but reads many blobs; this counter keeps per-blob accounting).
-	BatchedReads int64
+	BatchedReads int64 `json:"batched_reads"`
 	// QueuedOps counts operations that arrived while the simulated device
 	// was still busy with earlier transfers; QueueHighWater is the largest
 	// number of operations ever simultaneously in flight (queued + active).
 	// Together they expose how deep the IO pipeline actually ran.
-	QueuedOps      int64
-	QueueHighWater int64
+	QueuedOps      int64 `json:"queued_ops"`
+	QueueHighWater int64 `json:"queue_high_water"`
 }
 
 // Store is a directory-backed, bandwidth-throttled blob store. It is safe

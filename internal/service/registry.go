@@ -1,0 +1,348 @@
+// Job registry: the daemon-side state machine mapping HTTP job IDs to
+// in-flight Session.Submits.
+//
+// State machine (api.State*):
+//
+//	queued ──(first superstep barrier)──▶ running ──▶ done
+//	   │                                     │──────▶ failed
+//	   │──(cancel / queue unwind)──▶ canceled◀───────┘(ctx cause)
+//
+// A job enters the registry only after admission-level screening (drain
+// flag); jobs the session itself bounces (ErrJobQueueFull, ErrSessionClosed,
+// ErrSessionDead) are removed again by the submit handler, so the registry
+// holds exactly the jobs a client can address by ID. Entries are retained
+// after completion — the result pagination endpoint serves from them — and
+// evicted FIFO once maxRetained terminal jobs accumulate.
+//
+// Progress fan-out: the engine's Progress callback runs on the coordinator
+// server's superstep loop and must stay fast, so appendStep only appends to
+// a slice and swaps a broadcast channel. Any number of progress streams
+// replay the history by index and park on the broadcast channel for more —
+// no per-subscriber buffers, no dropped steps, and a slow subscriber never
+// backpressures the superstep loop.
+package service
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	graphh "repro"
+	"repro/api"
+)
+
+// maxRetained bounds how many terminal jobs the registry keeps for result
+// pagination; beyond it the oldest terminal job is evicted.
+const maxRetained = 64
+
+// jobEntry is one job's registry record.
+type jobEntry struct {
+	id   string
+	spec api.ProgramSpec
+
+	// cancel aborts the job's Submit context; idempotent.
+	cancel context.CancelFunc
+
+	// done closes when Submit returned and the terminal state is recorded.
+	done chan struct{}
+	// runningCh closes at the first progress callback — the job is
+	// provably past admission. The submit handler uses it to answer
+	// "running" instead of "queued" without waiting for completion.
+	runningCh chan struct{}
+
+	mu       sync.Mutex
+	state    string
+	steps    []graphh.StepStats
+	stepCh   chan struct{} // broadcast: closed and replaced on every append
+	result   *graphh.Result
+	err      error
+	canceled bool // a cancel was requested (DELETE or stream disconnect)
+}
+
+// appendStep records one superstep and wakes every progress stream; it
+// reports whether this was the queued→running transition. It is the job's
+// Progress callback body — called from the coordinator's superstep loop, so
+// it does no I/O and takes no other locks.
+func (j *jobEntry) appendStep(st graphh.StepStats) (started bool) {
+	j.mu.Lock()
+	if j.state == api.StateQueued {
+		j.state = api.StateRunning
+		close(j.runningCh)
+		started = true
+	}
+	j.steps = append(j.steps, st)
+	close(j.stepCh)
+	j.stepCh = make(chan struct{})
+	j.mu.Unlock()
+	return started
+}
+
+// stepsFrom returns the steps recorded from index i on, plus the broadcast
+// channel to park on when the caller has consumed everything so far.
+func (j *jobEntry) stepsFrom(i int) (steps []graphh.StepStats, more <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < len(j.steps) {
+		steps = j.steps[i:len(j.steps):len(j.steps)]
+	}
+	return steps, j.stepCh
+}
+
+// requestCancel aborts the job (idempotent) and remembers that the
+// termination was asked for, so a ctx-cause exit reports canceled rather
+// than failed.
+func (j *jobEntry) requestCancel() {
+	j.mu.Lock()
+	j.canceled = true
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// status snapshots the entry as its wire representation.
+func (j *jobEntry) status() *api.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &api.JobStatus{
+		ID:         j.id,
+		State:      j.state,
+		Program:    j.spec,
+		Supersteps: len(j.steps),
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.state == api.StateDone {
+		st.Report = api.ReportFromResult(j.spec.Name, j.result)
+		st.Supersteps = j.result.Supersteps
+	}
+	return st
+}
+
+// registry maps job IDs to entries and keeps the daemon's job counters.
+type registry struct {
+	mu      sync.Mutex
+	jobs    map[string]*jobEntry
+	order   []string // insertion order, for listing and retention
+	nextID  uint64
+	gone    int64 // entries evicted by retention
+	running int64
+	queued  int64
+
+	admitted atomic.Int64
+	rejected atomic.Int64
+	done     atomic.Int64
+	failed   atomic.Int64
+	canceled atomic.Int64
+
+	// lastServers/lastDead snapshot the most recent terminal job's
+	// membership view for GET /v1/stats.
+	lastEpoch uint64
+	lastDead  []int
+}
+
+func newRegistry() *registry {
+	return &registry{jobs: make(map[string]*jobEntry)}
+}
+
+// add registers a new queued job and returns its entry.
+func (r *registry) add(spec api.ProgramSpec, cancel context.CancelFunc) *jobEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	j := &jobEntry{
+		id:        "j" + strconv.FormatUint(r.nextID, 10),
+		spec:      spec,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		runningCh: make(chan struct{}),
+		stepCh:    make(chan struct{}),
+		state:     api.StateQueued,
+	}
+	r.jobs[j.id] = j
+	r.order = append(r.order, j.id)
+	r.queued++
+	r.admitted.Add(1)
+	return j
+}
+
+// remove unregisters a job the session bounced at admission: the job never
+// ran, no client ever saw its ID. Its done channel closes here — settle is
+// never called for bounced jobs, and a Drain that snapshotted the entry in
+// the admission window must not wait on it.
+func (r *registry) remove(j *jobEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.jobs[j.id]; !ok {
+		return
+	}
+	close(j.done)
+	delete(r.jobs, j.id)
+	for i, id := range r.order {
+		if id == j.id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	r.queued--
+	r.admitted.Add(-1)
+	r.rejected.Add(1)
+}
+
+// get looks a job up by ID.
+func (r *registry) get(id string) (*jobEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// list snapshots every retained entry in insertion order.
+func (r *registry) list() []*jobEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*jobEntry, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.jobs[id])
+	}
+	return out
+}
+
+// settle records a job's terminal state from Submit's return value and
+// closes its done channel. ctxErr tells a requested cancellation from a
+// hard failure.
+func (r *registry) settle(j *jobEntry, res *graphh.Result, err error) {
+	j.mu.Lock()
+	wasRunning := j.state == api.StateRunning
+	switch {
+	case err == nil:
+		j.state = api.StateDone
+		j.result = res
+	case j.canceled || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Submit returns the ctx cause itself on a clean superstep-edge
+		// abort; pair it with the requested-cancel flag so a hard failure
+		// racing a DELETE still reads as canceled, which is what the
+		// client asked for.
+		j.state = api.StateCanceled
+		j.err = err
+	default:
+		j.state = api.StateFailed
+		j.err = err
+	}
+	state := j.state
+	close(j.stepCh) // wake progress streams one last time
+	j.stepCh = make(chan struct{})
+	if !wasRunning {
+		close(j.runningCh) // release a submit handler waiting on "running"
+	}
+	j.mu.Unlock()
+	close(j.done)
+
+	r.mu.Lock()
+	if wasRunning {
+		r.running--
+	} else {
+		r.queued--
+	}
+	switch state {
+	case api.StateDone:
+		r.done.Add(1)
+		if res != nil && len(res.Servers) > 0 {
+			var epoch uint64
+			for _, sv := range res.Servers {
+				if sv.MembershipEpoch > epoch {
+					epoch = sv.MembershipEpoch
+				}
+			}
+			r.lastEpoch = epoch
+			r.lastDead = res.DeadServers
+		}
+	case api.StateFailed:
+		r.failed.Add(1)
+	case api.StateCanceled:
+		r.canceled.Add(1)
+	}
+	r.evictLocked()
+	r.mu.Unlock()
+}
+
+// markRunning moves the queued→running gauge pair; called from the entry's
+// first progress callback via the server (appendStep flips the entry state,
+// this keeps the registry gauges in step).
+func (r *registry) markRunning() {
+	r.mu.Lock()
+	r.queued--
+	r.running++
+	r.mu.Unlock()
+}
+
+// evictLocked drops the oldest terminal entries beyond the retention bound.
+func (r *registry) evictLocked() {
+	terminal := 0
+	for _, id := range r.order {
+		j := r.jobs[id]
+		j.mu.Lock()
+		t := j.state == api.StateDone || j.state == api.StateFailed || j.state == api.StateCanceled
+		j.mu.Unlock()
+		if t {
+			terminal++
+		}
+	}
+	for i := 0; terminal > maxRetained && i < len(r.order); {
+		j := r.jobs[r.order[i]]
+		j.mu.Lock()
+		t := j.state == api.StateDone || j.state == api.StateFailed || j.state == api.StateCanceled
+		j.mu.Unlock()
+		if !t {
+			i++
+			continue
+		}
+		delete(r.jobs, r.order[i])
+		r.order = append(r.order[:i], r.order[i+1:]...)
+		r.gone++
+		terminal--
+	}
+}
+
+// counters snapshots the registry for GET /v1/stats.
+func (r *registry) counters() api.JobCounters {
+	r.mu.Lock()
+	queued, running := r.queued, r.running
+	r.mu.Unlock()
+	return api.JobCounters{
+		Admitted: r.admitted.Load(),
+		Rejected: r.rejected.Load(),
+		Queued:   queued,
+		Running:  running,
+		Done:     r.done.Load(),
+		Failed:   r.failed.Load(),
+		Canceled: r.canceled.Load(),
+	}
+}
+
+// membership returns the latest observed membership epoch and dead set.
+func (r *registry) membership() (uint64, []int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastEpoch, append([]int(nil), r.lastDead...)
+}
+
+// waitAll blocks until every registered job is terminal or ctx expires.
+func (r *registry) waitAll(ctx context.Context) error {
+	for _, j := range r.list() {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// cancelAll requests cancellation of every non-terminal job.
+func (r *registry) cancelAll() {
+	for _, j := range r.list() {
+		j.requestCancel()
+	}
+}

@@ -1,0 +1,483 @@
+// End-to-end tests of the graphhd service layer over real loopback HTTP:
+// the httptest server fronts a live multi-tenant session, and every
+// scenario goes through the typed client — exactly the path a remote user
+// takes.
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	graphh "repro"
+	"repro/api"
+	"repro/client"
+	"repro/internal/service"
+)
+
+// newDaemon opens a session over a small symmetrized graph and fronts it
+// with a Server on loopback HTTP. It returns the client, the service, and
+// the options/partition needed to compute in-process references.
+func newDaemon(t *testing.T, opts graphh.Options, cfg service.Config) (*client.Client, *service.Server, *graphh.Partitioned, graphh.Options) {
+	t.Helper()
+	g := graphh.GenerateRMAT(300, 2500, 33).Symmetrize()
+	p, err := graphh.Partition(g, graphh.PartitionOptions{TileSize: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.WorkDir = t.TempDir()
+	sess, err := graphh.Open(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NumVertices = int(g.NumVertices)
+	cfg.NumTiles = p.NumTiles()
+	cfg.Servers = opts.Servers
+	cfg.MaxConcurrentJobs = opts.MaxConcurrentJobs
+	svc := service.New(sess, cfg)
+	hs := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = svc.Drain(ctx)
+		hs.Close()
+	})
+	return client.New(hs.URL), svc, p, opts
+}
+
+// TestRemoteClientsBitIdentical is the headline acceptance scenario: two
+// concurrent remote clients run PageRank and WCC against one daemon, and
+// each paginated result is bit-identical to the in-process Run on the same
+// partition.
+func TestRemoteClientsBitIdentical(t *testing.T) {
+	c, _, p, opts := newDaemon(t,
+		graphh.Options{Servers: 2, MaxSupersteps: 12, MaxConcurrentJobs: 2},
+		service.Config{ResultPageLimit: 64}, // force multi-page pagination
+	)
+
+	progs := []struct {
+		spec api.ProgramSpec
+		prog graphh.Program
+	}{
+		{api.ProgramSpec{Name: api.ProgramPageRank}, graphh.NewPageRank()},
+		{api.ProgramSpec{Name: api.ProgramWCC}, graphh.NewWCC()},
+	}
+	var wg sync.WaitGroup
+	values := make([][]float64, len(progs))
+	errs := make([]error, len(progs))
+	for i, pr := range progs {
+		wg.Add(1)
+		go func(i int, spec api.ProgramSpec) {
+			defer wg.Done()
+			ctx := context.Background()
+			st, err := c.Submit(ctx, api.JobRequest{Program: spec})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if st, err = c.Wait(ctx, st.ID); err != nil {
+				errs[i] = err
+				return
+			}
+			if st.State != api.StateDone {
+				errs[i] = errors.New(spec.Name + " ended " + st.State + ": " + st.Error)
+				return
+			}
+			if st.Report == nil || st.Report.Supersteps != st.Supersteps {
+				errs[i] = errors.New(spec.Name + ": missing or inconsistent report")
+				return
+			}
+			values[i], errs[i] = c.Values(ctx, st.ID)
+		}(i, pr.spec)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("%s: %v", progs[i].spec.Name, err)
+		}
+	}
+	for i, pr := range progs {
+		ref := opts
+		ref.WorkDir = t.TempDir()
+		want, err := graphh.Run(p, pr.prog, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(values[i]) != len(want.Values) {
+			t.Fatalf("%s: got %d values, want %d", pr.spec.Name, len(values[i]), len(want.Values))
+		}
+		for v := range want.Values {
+			if values[i][v] != want.Values[v] {
+				t.Fatalf("%s: remote result differs from in-process Run at vertex %d", pr.spec.Name, v)
+			}
+		}
+	}
+}
+
+// TestSSSPInfSurvivesWire pins the ±Inf encoding: unreached vertices come
+// back as +Inf, bit-identical to the in-process run.
+func TestSSSPInfSurvivesWire(t *testing.T) {
+	c, _, p, opts := newDaemon(t,
+		graphh.Options{Servers: 2, MaxSupersteps: 30, MaxConcurrentJobs: 2},
+		service.Config{},
+	)
+	ctx := context.Background()
+	st, err := c.Submit(ctx, api.JobRequest{Program: api.ProgramSpec{Name: api.ProgramSSSP, Source: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.Wait(ctx, st.ID); err != nil || st.State != api.StateDone {
+		t.Fatalf("sssp: %v state=%v", err, st)
+	}
+	got, err := c.Values(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := opts
+	ref.WorkDir = t.TempDir()
+	want, err := graphh.Run(p, graphh.NewSSSP(0), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Values {
+		if got[v] != want.Values[v] {
+			t.Fatalf("sssp differs at vertex %d: %v != %v", v, got[v], want.Values[v])
+		}
+	}
+}
+
+// longJob is a run request that will not finish on its own quickly: plain
+// PageRank never empties its active set, so it runs to the superstep bound.
+func longJob() api.JobRequest {
+	return api.JobRequest{
+		Program: api.ProgramSpec{Name: api.ProgramPageRank},
+		Options: api.RunOptions{MaxSupersteps: 100000},
+	}
+}
+
+// TestQueueFullMapsTo429 fills the session's admission queue and checks the
+// daemon's backpressure mapping: ErrJobQueueFull → 429 + Retry-After,
+// surfaced by the client as errors.Is(err, graphh.ErrJobQueueFull).
+func TestQueueFullMapsTo429(t *testing.T) {
+	c, _, _, _ := newDaemon(t,
+		graphh.Options{Servers: 2, MaxSupersteps: 200000, MaxConcurrentJobs: 2, MaxQueuedJobs: 1},
+		service.Config{},
+	)
+	ctx := context.Background()
+	var ids []string
+	// 2 running + 1 queued fill the session; the 4th must bounce.
+	for i := 0; i < 3; i++ {
+		st, err := c.Submit(ctx, longJob())
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, st.ID)
+	}
+	_, err := c.Submit(ctx, longJob())
+	if !errors.Is(err, graphh.ErrJobQueueFull) {
+		t.Fatalf("4th submit: got %v, want ErrJobQueueFull", err)
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("4th submit: got %v, want HTTP 429", err)
+	}
+	if ae.RetryAfter <= 0 {
+		t.Fatalf("429 without Retry-After hint")
+	}
+
+	// The bounced job never got an ID; the daemon counts it as rejected.
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs.Admitted != 3 || stats.Jobs.Rejected != 1 {
+		t.Fatalf("counters admitted=%d rejected=%d, want 3/1", stats.Jobs.Admitted, stats.Jobs.Rejected)
+	}
+
+	// Cancel the fleet; the session must stay healthy for a real job.
+	for _, id := range ids {
+		if _, err := c.Cancel(ctx, id); err != nil {
+			t.Fatalf("cancel %s: %v", id, err)
+		}
+	}
+	for _, id := range ids {
+		st, err := c.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != api.StateCanceled {
+			t.Fatalf("%s ended %s, want canceled", id, st.State)
+		}
+	}
+	st, err := c.Submit(ctx, api.JobRequest{Program: api.ProgramSpec{Name: api.ProgramWCC}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.Wait(ctx, st.ID); err != nil || st.State != api.StateDone {
+		t.Fatalf("post-cancel job: %v %v", err, st)
+	}
+}
+
+// TestProgressStreamDisconnectCancels is the disconnect-cancels-job
+// contract: a client consuming the progress stream goes away mid-job, and
+// the job is canceled at the next superstep edge — the session stays
+// healthy for the next job.
+func TestProgressStreamDisconnectCancels(t *testing.T) {
+	// NetBandwidth throttles each superstep to tens of milliseconds so the
+	// loopback close-detection latency (sub-millisecond) is much smaller
+	// than one superstep — otherwise the engine races through hundreds of
+	// microsecond-scale supersteps before the TCP FIN is even seen.
+	c, _, _, _ := newDaemon(t,
+		graphh.Options{Servers: 2, MaxSupersteps: 200000, MaxConcurrentJobs: 2, NetBandwidth: 200_000},
+		service.Config{},
+	)
+	ctx := context.Background()
+	st, err := c.Submit(ctx, longJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := c.Progress(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last int
+	for i := 0; i < 3; i++ {
+		step, err := stream.Next()
+		if err != nil {
+			t.Fatalf("progress step %d: %v", i, err)
+		}
+		last = step.Superstep
+	}
+	stream.Close() // disconnect mid-job: the daemon cancels the run
+
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.StateCanceled {
+		t.Fatalf("job ended %s, want canceled after stream disconnect", final.State)
+	}
+	// The unwind happens at a superstep edge right after the disconnect is
+	// seen; with throttled supersteps the detection slack is well under one
+	// step, so a handful of steps of margin is generous.
+	if final.Supersteps > last+5 {
+		t.Fatalf("job ran %d supersteps after disconnect at %d", final.Supersteps-last, last)
+	}
+
+	// Detached observers must NOT couple their lifetime to the job's.
+	st2, err := c.Submit(ctx, longJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream2, err := c.Progress(ctx, st2.ID, client.Detached())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stream2.Next(); err != nil {
+		t.Fatal(err)
+	}
+	stream2.Close()
+	time.Sleep(50 * time.Millisecond)
+	mid, err := c.Status(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Terminal() {
+		t.Fatalf("detached observer disconnect terminated the job: %s", mid.State)
+	}
+	if _, err := c.Cancel(ctx, st2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, st2.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProgressStreamReplaysAndEnds checks lossless fan-out: a late
+// subscriber replays the full history, sees every superstep exactly once,
+// and the stream ends with the job.
+func TestProgressStreamReplaysAndEnds(t *testing.T) {
+	c, _, _, _ := newDaemon(t,
+		graphh.Options{Servers: 2, MaxSupersteps: 10, MaxConcurrentJobs: 2},
+		service.Config{},
+	)
+	ctx := context.Background()
+	st, err := c.Submit(ctx, api.JobRequest{Program: api.ProgramSpec{Name: api.ProgramPageRank}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subscribe after the fact: the whole history must replay.
+	stream, err := c.Progress(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	var steps []int
+	for {
+		step, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps = append(steps, step.Superstep)
+	}
+	if len(steps) != final.Supersteps {
+		t.Fatalf("replayed %d steps, want %d", len(steps), final.Supersteps)
+	}
+	for i, s := range steps {
+		if s != i {
+			t.Fatalf("step %d has superstep %d; stream must be in order and lossless", i, s)
+		}
+	}
+}
+
+// TestDrainProtocol: drain with running jobs — new submissions get 503
+// immediately, stragglers are canceled at the deadline, Drain closes the
+// session, and a second Drain returns without incident.
+func TestDrainProtocol(t *testing.T) {
+	c, svc, _, _ := newDaemon(t,
+		graphh.Options{Servers: 2, MaxSupersteps: 200000, MaxConcurrentJobs: 2},
+		service.Config{},
+	)
+	ctx := context.Background()
+	st, err := c.Submit(ctx, longJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drainCtx, cancel := context.WithTimeout(ctx, 300*time.Millisecond)
+	defer cancel()
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- svc.Drain(drainCtx) }()
+
+	// New submissions must bounce with 503 while the drain runs.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := c.Submit(ctx, longJob())
+		if client.IsUnavailable(err) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submit during drain: got %v, want 503", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	final, err := c.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.StateCanceled {
+		t.Fatalf("straggler ended %s, want canceled at drain deadline", final.State)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Draining {
+		t.Fatal("stats must report draining after shutdown began")
+	}
+	// Idempotent: a second Drain returns promptly.
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestSubmitValidation pins the 400 mapping for malformed bodies.
+func TestSubmitValidation(t *testing.T) {
+	c, _, _, _ := newDaemon(t,
+		graphh.Options{Servers: 1, MaxSupersteps: 5},
+		service.Config{},
+	)
+	for _, body := range []string{
+		`{"program":{"name":"no-such-program"}}`,
+		`{"program":{"name":"pagerank"},"options":{"max_superstepz":3}}`, // unknown field
+		`{"program":{"name":"pagerank"}}{"program":{"name":"wcc"}}`,      // trailing doc
+		`{"program":{"name":"pagerank","damping":1.5}}`,
+		`{"program":{"name":"wcc","source":3}}`,
+	} {
+		resp, err := http.Post(baseOf(t, c)+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %s: got %d, want 400", body, resp.StatusCode)
+		}
+		var er api.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Error == "" {
+			t.Fatalf("body %s: error envelope missing (%v)", body, err)
+		}
+		resp.Body.Close()
+	}
+	// Unknown job IDs are 404 across the job endpoints.
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/progress", "/v1/jobs/nope/result"} {
+		resp, err := http.Get(baseOf(t, c) + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: got %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestExpvarSurface checks /debug/vars serves the counters in expvar wire
+// format without being registered globally.
+func TestExpvarSurface(t *testing.T) {
+	c, _, _, _ := newDaemon(t,
+		graphh.Options{Servers: 1, MaxSupersteps: 5},
+		service.Config{},
+	)
+	ctx := context.Background()
+	st, err := c.Submit(ctx, api.JobRequest{Program: api.ProgramSpec{Name: api.ProgramPageRank}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(baseOf(t, c) + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("expvar surface is not a JSON object: %v", err)
+	}
+	for _, key := range []string{"jobs_admitted", "jobs_rejected", "jobs_running", "queue_depth", "bytes_served"} {
+		if _, ok := vars[key]; !ok {
+			t.Fatalf("expvar missing %q (have %v)", key, vars)
+		}
+	}
+	if vars["jobs_admitted"] < 1 {
+		t.Fatalf("jobs_admitted = %d after a job ran", vars["jobs_admitted"])
+	}
+	if vars["bytes_served"] < 1 {
+		t.Fatalf("bytes_served = %d after responses were written", vars["bytes_served"])
+	}
+}
+
+// baseOf digs the daemon base URL back out of the typed client for the raw
+// HTTP checks.
+func baseOf(t *testing.T, c *client.Client) string {
+	t.Helper()
+	return c.BaseURL()
+}
