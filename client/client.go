@@ -75,6 +75,13 @@ func (e *APIError) Unwrap() error {
 	return nil
 }
 
+// ErrJobEvicted reports that a job disappeared from the daemon's registry
+// between two requests: the daemon retains only a bounded number of
+// terminal jobs (FIFO eviction), so a done job paged too slowly — or
+// fetched long after it finished — can be gone mid-pagination. The partial
+// data is unrecoverable; resubmit the job.
+var ErrJobEvicted = errors.New("graphhd: job evicted from the daemon's retention window")
+
 // IsUnavailable reports whether err is a daemon 503 — draining, closed or
 // dead session.
 func IsUnavailable(err error) bool {
@@ -170,12 +177,18 @@ func (c *Client) Result(ctx context.Context, id string, offset, limit int) (*api
 
 // Values pages through the job's whole value vector and returns it —
 // bit-identical to the in-process Result.Values (the wire form round-trips
-// every float64, ±Inf included).
+// every float64, ±Inf included). A 404 after the first page means the
+// daemon evicted the job mid-pagination (bounded terminal-job retention);
+// that surfaces as an error wrapping ErrJobEvicted.
 func (c *Client) Values(ctx context.Context, id string) ([]float64, error) {
 	var out []float64
 	for {
 		page, err := c.Result(ctx, id, len(out), 0)
 		if err != nil {
+			var ae *APIError
+			if len(out) > 0 && errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound {
+				return nil, fmt.Errorf("%w after %d of its values were read: %v", ErrJobEvicted, len(out), err)
+			}
 			return nil, err
 		}
 		if out == nil {

@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -73,6 +74,9 @@ type Server struct {
 
 	draining atomic.Bool
 	drained  chan struct{}
+	// drainErr is the first Drain's Session.Close error; written before
+	// drained closes, so every concurrent Drain caller returns it.
+	drainErr error
 
 	// bytesServed counts response-body bytes across every endpoint.
 	bytesServed atomic.Int64
@@ -144,7 +148,7 @@ func (s *Server) Vars() *expvar.Map { return s.vars }
 func (s *Server) Drain(ctx context.Context) error {
 	if s.draining.Swap(true) {
 		<-s.drained
-		return nil
+		return s.drainErr
 	}
 	defer close(s.drained)
 	if err := s.reg.waitAll(ctx); err != nil {
@@ -154,7 +158,8 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.reg.cancelAll()
 		_ = s.reg.waitAll(context.Background())
 	}
-	return s.sess.Close()
+	s.drainErr = s.sess.Close()
+	return s.drainErr
 }
 
 // Draining reports whether shutdown has begun.
@@ -209,39 +214,78 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			}
 		},
 	}
+
+	// Exactly one side finalizes a bounced job: if the handler is still
+	// waiting on errCh it removes the entry and returns the HTTP
+	// backpressure status; once it has responded 202 the client holds the
+	// job ID, so a late admission error (the session died or closed while
+	// the job was parked in its admission queue, or the bounce lost the
+	// scheduling race with the grace timer) must settle the entry to a
+	// terminal state instead — otherwise it stays "queued" forever, Wait
+	// spins, and Drain deadlocks. respMu makes the handler's claim and the
+	// goroutine's delivery mutually exclusive.
+	var respMu sync.Mutex
+	responded := false
 	errCh := make(chan error, 1)
 	go func() {
 		defer cancel() // Submit returned; release the job's context
 		res, err := s.sess.Submit(ctx, prog, ro)
-		if err == nil || !isAdmissionError(err) {
-			s.reg.settle(jb, res, err)
+		if isAdmissionError(err) {
+			respMu.Lock()
+			if responded {
+				respMu.Unlock()
+				s.reg.settle(jb, nil, err)
+				return
+			}
+			errCh <- err // buffered; the handler still owns the response
+			respMu.Unlock()
+			return
 		}
+		s.reg.settle(jb, res, err)
 		errCh <- err
 	}()
 
-	grace := time.NewTimer(s.cfg.SubmitGrace)
-	defer grace.Stop()
-	select {
-	case err := <-errCh:
+	// finish writes the response for a Submit return the handler received
+	// itself: bounced jobs leave the registry and map to 429/503, anything
+	// else (tiny job, immediate hard failure) reports its terminal state.
+	finish := func(err error) {
 		if isAdmissionError(err) {
-			// The session bounced the job before it ran: it has no ID a
-			// client could use, so take it back out of the registry and
-			// map the typed sentinel onto the wire.
 			s.reg.remove(jb)
 			cancel()
 			s.writeAdmissionError(w, err)
 			return
 		}
-		// Terminal already (tiny job, or an immediate hard failure): report
-		// the final state.
 		s.writeJSON(w, http.StatusAccepted, jb.status())
+	}
+	// claimOr202 marks the response as written under respMu — unless the
+	// goroutine delivered an admission error in the same instant, in which
+	// case the handler still owns it and reports the bounce.
+	claimOr202 := func() {
+		respMu.Lock()
+		select {
+		case err := <-errCh:
+			respMu.Unlock()
+			finish(err)
+		default:
+			responded = true
+			respMu.Unlock()
+			s.writeJSON(w, http.StatusAccepted, jb.status())
+		}
+	}
+
+	grace := time.NewTimer(s.cfg.SubmitGrace)
+	defer grace.Stop()
+	select {
+	case err := <-errCh:
+		finish(err)
 	case <-jb.runningCh:
-		s.writeJSON(w, http.StatusAccepted, jb.status())
+		claimOr202()
 	case <-grace.C:
-		// Still queued behind other jobs — admission is decided
-		// synchronously, so a queue-full cannot arrive after this point;
-		// the job is parked in the session's admission queue.
-		s.writeJSON(w, http.StatusAccepted, jb.status())
+		// Still queued behind other jobs; the job is parked in the
+		// session's admission queue. Queue-full is decided synchronously so
+		// it normally beats this timer, but a session death/close can still
+		// bounce the job later — the goroutine settles the entry then.
+		claimOr202()
 	}
 }
 
@@ -313,7 +357,7 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	detach := r.URL.Query().Get("detach") != ""
+	detach, _ := strconv.ParseBool(r.URL.Query().Get("detach"))
 	flusher, _ := w.(http.Flusher)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)

@@ -344,6 +344,63 @@ func TestProgressStreamReplaysAndEnds(t *testing.T) {
 	}
 }
 
+// TestLateSessionDeathSettlesQueuedJob pins the late-admission-error path:
+// a job parked in the session's admission queue got its 202 (the grace
+// window elapsed, the client holds the ID), and only afterwards is bounced
+// with ErrSessionDead because the running jobs' hard failure killed the
+// session. The entry must still reach a terminal state — Wait terminates
+// and the queued gauge drops to zero — rather than stay "queued" forever
+// (which would also deadlock Drain's unbounded second waitAll).
+func TestLateSessionDeathSettlesQueuedJob(t *testing.T) {
+	c, _, _, _ := newDaemon(t,
+		graphh.Options{
+			Servers: 2, MaxSupersteps: 200000, MaxConcurrentJobs: 2, MaxQueuedJobs: 1,
+			// Both servers die at step 20000 (comfortably after all three
+			// submits, long before the 100000-step bound): no survivor, the
+			// session is dead, and the queued third job is bounced long
+			// after its 202.
+			Faults: &graphh.FaultPlan{Kills: []graphh.Kill{
+				{Server: 0, Step: 20000, Point: graphh.KillMidStep},
+				{Server: 1, Step: 20000, Point: graphh.KillMidStep},
+			}},
+		},
+		service.Config{SubmitGrace: time.Millisecond},
+	)
+	ctx := context.Background()
+	// 2 running + 1 queued; the tiny grace window means the third submit
+	// answers 202 while the job is still parked in the admission queue.
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st, err := c.Submit(ctx, longJob())
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, st.ID)
+	}
+	// Every job — including the one bounced after its 202 — must settle.
+	waitCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		st, err := c.Wait(waitCtx, id)
+		if err != nil {
+			t.Fatalf("wait %s: %v (zombie queued entry?)", id, err)
+		}
+		if st.State != api.StateFailed {
+			t.Fatalf("%s ended %s, want failed", id, st.State)
+		}
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs.Queued != 0 || stats.Jobs.Running != 0 {
+		t.Fatalf("gauges queued=%d running=%d after session death, want 0/0",
+			stats.Jobs.Queued, stats.Jobs.Running)
+	}
+	// The cleanup Drain must not hang on the settled entries; its
+	// Session.Close error (dead session) is the first drain's to report.
+}
+
 // TestDrainProtocol: drain with running jobs — new submissions get 503
 // immediately, stragglers are canceled at the deadline, Drain closes the
 // session, and a second Drain returns without incident.
